@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark suite.
+
+``REPRO_BENCH_SCALE`` (default 0.05) sets the fraction of the paper's
+51.2 MB object the suite runs at; ``repro-bench --scale 1.0`` regenerates
+the figures at full scale outside pytest.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.figures import BenchConfig
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    return BenchConfig(scale=bench_scale())

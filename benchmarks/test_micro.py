@@ -1,0 +1,135 @@
+"""Micro-benchmarks of the substrate layers (wall-clock, pytest-benchmark).
+
+These complement the figure benches: the figures report *simulated* device
+seconds; these report real Python-execution time of the hot paths so
+regressions in the implementation itself are visible.
+"""
+
+import pytest
+
+from repro.bench.datasets import frame_bytes
+from repro.db import Database
+
+
+@pytest.fixture
+def db():
+    database = Database(charge_cpu=False)
+    yield database
+    database.close()
+
+
+class TestPageMicro:
+    def test_page_add_get(self, benchmark):
+        from repro.storage.page import SlottedPage
+
+        def work():
+            page = SlottedPage()
+            slots = [page.add_item(b"x" * 100) for _ in range(50)]
+            return sum(len(page.get_item(s)) for s in slots)
+
+        assert benchmark(work) == 5000
+
+    def test_page_checksum(self, benchmark):
+        from repro.storage.page import SlottedPage
+        page = SlottedPage()
+        page.add_item(b"payload" * 500)
+        benchmark(page.compute_checksum)
+
+
+class TestBTreeMicro:
+    def test_btree_insert_1000(self, benchmark, db):
+        counter = iter(range(10**9))
+
+        def work():
+            run = next(counter)
+            index = db.create_index if False else None  # noqa: F841
+            from repro.access.btree import BTree
+            tree = BTree(f"micro{run}", db.storage_manager("memory"),
+                         db.bufmgr, key_arity=1)
+            tree.create_storage()
+            for i in range(1000):
+                tree.insert((i,), (i, 0))
+            return tree
+
+        tree = benchmark.pedantic(work, rounds=3, iterations=1)
+        assert tree.entry_count() == 1000
+
+    def test_btree_search(self, benchmark, db):
+        from repro.access.btree import BTree
+        tree = BTree("searchme", db.storage_manager("memory"),
+                     db.bufmgr, key_arity=1)
+        tree.create_storage()
+        for i in range(5000):
+            tree.insert((i,), (i, 0))
+        result = benchmark(tree.search, (2500,))
+        assert result == [(2500, 0)]
+
+
+class TestCompressionMicro:
+    @pytest.mark.parametrize("name", ["zero-rle", "zlib"])
+    def test_compress_frame(self, benchmark, name):
+        from repro.compress import get_compressor
+        compressor = get_compressor(name)
+        frame = frame_bytes(0, 0.5)
+        image = benchmark(compressor.compress, frame)
+        assert compressor.decompress(image) == frame
+
+
+class TestLargeObjectMicro:
+    @pytest.mark.parametrize("impl", ["fchunk", "vsegment"])
+    def test_frame_write(self, benchmark, db, impl):
+        txn = db.begin()
+        designator = db.lo.create(txn, impl)
+        obj = db.lo.open(designator, txn, "rw")
+        frame = frame_bytes(0, 0.0)
+        position = iter(range(10**9))
+
+        def work():
+            obj.seek((next(position) % 2000) * 4096)
+            obj.write(frame)
+
+        benchmark(work)
+        obj.close()
+        txn.commit()
+
+    @pytest.mark.parametrize("impl", ["fchunk", "vsegment"])
+    def test_frame_read(self, benchmark, db, impl):
+        txn = db.begin()
+        designator = db.lo.create(txn, impl)
+        with db.lo.open(designator, txn, "rw") as obj:
+            for i in range(100):
+                obj.write(frame_bytes(i, 0.0))
+        txn.commit()
+        reader = db.lo.open(designator)
+        position = iter(range(10**9))
+
+        def work():
+            reader.seek((next(position) * 37 % 100) * 4096)
+            return reader.read(4096)
+
+        data = benchmark(work)
+        assert len(data) == 4096
+        reader.close()
+
+
+class TestInversionMicro:
+    def test_path_resolution(self, benchmark, db):
+        fs = db.inversion
+        with db.begin() as txn:
+            fs.mkdir(txn, "/a")
+            fs.mkdir(txn, "/a/b")
+            fs.mkdir(txn, "/a/b/c")
+            fs.write_file(txn, "/a/b/c/leaf", b"x")
+        info = benchmark(fs.stat, "/a/b/c/leaf")
+        assert info["size"] == 1
+
+
+class TestQueryMicro:
+    def test_retrieve_with_qual(self, benchmark, db):
+        db.execute("create EMP (name = text, age = int4)")
+        with db.begin() as txn:
+            for i in range(200):
+                db.insert(txn, "EMP", (f"e{i}", i % 60))
+        result = benchmark(db.execute,
+                           'retrieve (EMP.name) where EMP.age = 30')
+        assert result.count > 0

@@ -1,0 +1,23 @@
+"""Reproduction of *Large Object Support in POSTGRES* (Stonebraker &
+Olson, ICDE 1993).
+
+The public entry point is :class:`repro.Database`; everything else hangs
+off it::
+
+    from repro import Database
+    db = Database()
+    db.execute('create large type image (storage = f-chunk)')   # section 4
+    db.lo          # the four large-object implementations (section 6)
+    db.inversion   # the Inversion file system (section 8)
+    db.archiver    # the archival vacuum (history -> WORM)
+
+See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the mapping
+to the paper.
+"""
+
+from repro.client import LargeObjectApi
+from repro.db import Database
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "LargeObjectApi", "__version__"]

@@ -1,0 +1,15 @@
+"""Access methods: heap relations, tuples, and B-tree indexes."""
+
+from repro.access.btree import BTree
+from repro.access.heap import HeapRelation
+from repro.access.schema import Attribute, Schema
+from repro.access.tuples import TID, HeapTuple
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "HeapTuple",
+    "TID",
+    "HeapRelation",
+    "BTree",
+]

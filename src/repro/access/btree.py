@@ -1,0 +1,369 @@
+"""A paged B-tree index over the buffer manager.
+
+The paper's f-chunk implementation "maintains a secondary btree index on
+the data blocks, and so must traverse the index any time a seek is done"
+(§9.2) — the traversal cost is visible in its random-access numbers, so the
+index here is a real disk tree doing real page reads, not a dict.
+
+Layout
+------
+* Block 0 is the **meta page**: root block number, tree height, key arity.
+* Every other block is one **node**, serialized as a single page item:
+  a small header plus a sorted entry array.
+* Leaf entries map ``key -> (v0, v1)`` — two signed 64-bit payload ints,
+  used as heap TIDs ``(blockno, slot)`` or as plain numbers.
+* Internal entries map separator keys to child block numbers.
+* Leaves are chained through right-sibling pointers for range scans.
+
+Keys are tuples of signed 64-bit integers (arity fixed per tree), compared
+lexicographically.  **Duplicate keys are allowed** — a no-overwrite heap
+stores several versions of a logical record, and the index points at all
+of them; readers filter by visibility.
+
+Deletion removes entries without rebalancing (as PostgreSQL does); empty
+nodes are left in place and skipped.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import RelationError
+from repro.smgr.base import StorageManager
+from repro.storage.buffer import BufferManager
+from repro.storage.constants import MAX_TUPLE_SIZE, PAGE_SIZE
+
+_META = struct.Struct("<IHHI")          # root block, arity, height, magic
+_NODE_HEADER = struct.Struct("<BBHi")   # is_leaf, pad, nentries, right sibling
+_MAGIC = 0xB7EE
+
+Key = tuple[int, ...]
+Value = tuple[int, int]
+
+
+@dataclass
+class _Node:
+    """Decoded B-tree node."""
+
+    is_leaf: bool
+    keys: list[Key] = field(default_factory=list)
+    #: leaf: payload pairs; internal: child block numbers (as (child, 0)).
+    values: list[Value] = field(default_factory=list)
+    right: int = -1
+
+    def entry_bytes(self, arity: int) -> int:
+        per_entry = 8 * arity + (16 if self.is_leaf else 4)
+        extra_child = 0 if self.is_leaf else 4  # nkeys + 1 children
+        return _NODE_HEADER.size + per_entry * len(self.keys) + extra_child
+
+
+class BTree:
+    """A B-tree index living in one relation file."""
+
+    def __init__(self, name: str, smgr: StorageManager,
+                 bufmgr: BufferManager, key_arity: int = 1,
+                 fileid: str | None = None):
+        if key_arity < 1 or key_arity > 4:
+            raise RelationError(f"unsupported key arity {key_arity}")
+        self.name = name
+        self.smgr = smgr
+        self.bufmgr = bufmgr
+        self.key_arity = key_arity
+        self.fileid = fileid or f"btree_{name}"
+        self._key_struct = struct.Struct(f"<{key_arity}q")
+        self._leaf_value = struct.Struct("<qq")
+        self._child = struct.Struct("<I")
+        # Soft node-size ceiling: leave room for one more max-size entry.
+        self._node_limit = MAX_TUPLE_SIZE - 64
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def create_storage(self) -> None:
+        """Create the index file with an empty root leaf (idempotent)."""
+        self.smgr.create(self.fileid)
+        if self.bufmgr.nblocks(self.smgr, self.fileid) > 0:
+            return
+        meta_buf = self.bufmgr.allocate(self.smgr, self.fileid)
+        root_buf = self.bufmgr.allocate(self.smgr, self.fileid)
+        try:
+            self._write_node(root_buf.page, _Node(is_leaf=True))
+            meta_buf.page.add_item(
+                _META.pack(root_buf.blockno, self.key_arity, 0, _MAGIC))
+        finally:
+            self.bufmgr.unpin(meta_buf, dirty=True)
+            self.bufmgr.unpin(root_buf, dirty=True)
+
+    def drop_storage(self) -> None:
+        self.bufmgr.drop_file(self.smgr, self.fileid)
+        self.smgr.unlink(self.fileid)
+
+    def nblocks(self) -> int:
+        return self.bufmgr.nblocks(self.smgr, self.fileid)
+
+    def byte_size(self) -> int:
+        """Bytes occupied by the index (Figure 1 reports these)."""
+        return self.nblocks() * PAGE_SIZE
+
+    # -- meta page ----------------------------------------------------------------
+
+    def _read_meta(self) -> tuple[int, int]:
+        with self.bufmgr.page(self.smgr, self.fileid, 0) as page:
+            root, arity, height, magic = _META.unpack(page.get_item(0))
+        if magic != _MAGIC:
+            raise RelationError(f"index {self.name!r} meta page corrupt")
+        if arity != self.key_arity:
+            raise RelationError(
+                f"index {self.name!r} has key arity {arity}, "
+                f"opened with {self.key_arity}")
+        return root, height
+
+    def _write_meta(self, root: int, height: int) -> None:
+        with self.bufmgr.page(self.smgr, self.fileid, 0, write=True) as page:
+            page.overwrite_item(
+                0, _META.pack(root, self.key_arity, height, _MAGIC))
+
+    # -- node (de)serialization -------------------------------------------------------
+
+    def _write_node(self, page, node: _Node) -> None:
+        arity = self.key_arity
+        nkeys = len(node.keys)
+        parts = [_NODE_HEADER.pack(1 if node.is_leaf else 0, 0,
+                                   nkeys, node.right)]
+        if nkeys:
+            flat_keys = [component for key in node.keys
+                         for component in key]
+            parts.append(struct.pack(f"<{nkeys * arity}q", *flat_keys))
+        if node.is_leaf:
+            if node.values:
+                flat = [component for value in node.values
+                        for component in value]
+                parts.append(struct.pack(f"<{2 * nkeys}q", *flat))
+        else:
+            # Internal nodes have nkeys + 1 children.
+            children = [child for child, _ in node.values]
+            parts.append(struct.pack(f"<{len(children)}I", *children))
+        image = b"".join(parts)
+        if page.slot_count:
+            page.overwrite_item(0, image)
+        else:
+            page.add_item(image)
+
+    def _read_node(self, blockno: int) -> _Node:
+        with self.bufmgr.page(self.smgr, self.fileid, blockno) as page:
+            image = page.get_item(0)
+        is_leaf, _pad, nentries, right = _NODE_HEADER.unpack_from(image, 0)
+        arity = self.key_arity
+        pos = _NODE_HEADER.size
+        if nentries:
+            flat = struct.unpack_from(f"<{nentries * arity}q", image, pos)
+            if arity == 1:
+                keys = [(component,) for component in flat]
+            else:
+                keys = [tuple(flat[i:i + arity])
+                        for i in range(0, len(flat), arity)]
+        else:
+            keys = []
+        pos += nentries * arity * 8
+        values: list[Value]
+        if is_leaf:
+            flat = struct.unpack_from(f"<{2 * nentries}q", image, pos)
+            values = [(flat[i], flat[i + 1])
+                      for i in range(0, len(flat), 2)]
+        else:
+            children = struct.unpack_from(f"<{nentries + 1}I", image, pos)
+            values = [(child, 0) for child in children]
+        return _Node(is_leaf=bool(is_leaf), keys=keys, values=values,
+                     right=right)
+
+    def _store_node(self, blockno: int, node: _Node) -> None:
+        with self.bufmgr.page(self.smgr, self.fileid, blockno,
+                              write=True) as page:
+            self._write_node(page, node)
+
+    def _new_node(self, node: _Node) -> int:
+        buf = self.bufmgr.allocate(self.smgr, self.fileid)
+        try:
+            self._write_node(buf.page, node)
+            return buf.blockno
+        finally:
+            self.bufmgr.unpin(buf, dirty=True)
+
+    # -- key handling --------------------------------------------------------------------
+
+    def _check_key(self, key: Key) -> Key:
+        key = tuple(key)
+        if len(key) != self.key_arity:
+            raise RelationError(
+                f"key {key!r} has arity {len(key)}, index {self.name!r} "
+                f"expects {self.key_arity}")
+        return key
+
+    # -- insert ---------------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> None:
+        """Insert one entry; duplicate keys are fine."""
+        key = self._check_key(key)
+        root, height = self._read_meta()
+        split = self._insert_into(root, key, tuple(value))
+        if split is not None:
+            sep_key, right_block = split
+            new_root = _Node(is_leaf=False,
+                             keys=[sep_key],
+                             values=[(root, 0), (right_block, 0)])
+            self._write_meta(self._new_node(new_root), height + 1)
+
+    def _insert_into(self, blockno: int, key: Key,
+                     value: Value) -> tuple[Key, int] | None:
+        """Recursive insert; returns (separator, new right block) on split."""
+        node = self._read_node(blockno)
+        if node.is_leaf:
+            pos = bisect.bisect_right(node.keys, key)
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+        else:
+            child_idx = self._descend_index(node, key)
+            split = self._insert_into(node.values[child_idx][0], key, value)
+            if split is None:
+                return None
+            sep_key, right_block = split
+            node.keys.insert(child_idx, sep_key)
+            node.values.insert(child_idx + 1, (right_block, 0))
+        if node.entry_bytes(self.key_arity) <= self._node_limit:
+            self._store_node(blockno, node)
+            return None
+        return self._split(blockno, node)
+
+    @staticmethod
+    def _descend_index(node: _Node, key: Key) -> int:
+        """Child slot to follow for *key* in an internal node."""
+        return bisect.bisect_right(node.keys, key)
+
+    def _split(self, blockno: int, node: _Node) -> tuple[Key, int]:
+        """Split an overfull node; returns (separator, right block)."""
+        mid = len(node.keys) // 2
+        if node.is_leaf:
+            right = _Node(is_leaf=True, keys=node.keys[mid:],
+                          values=node.values[mid:], right=node.right)
+            sep = right.keys[0]
+            right_block = self._new_node(right)
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            node.right = right_block
+        else:
+            # The middle key moves up; children split around it.
+            sep = node.keys[mid]
+            right = _Node(is_leaf=False, keys=node.keys[mid + 1:],
+                          values=node.values[mid + 1:])
+            right_block = self._new_node(right)
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid + 1]
+        self._store_node(blockno, node)
+        return sep, right_block
+
+    # -- lookup ---------------------------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> tuple[int, _Node]:
+        """The leftmost leaf that can contain *key*.
+
+        Descends with ``bisect_left`` so that, with duplicate keys spanning
+        several leaves, scans start at the first occurrence (inserts use
+        ``bisect_right`` via :meth:`_descend_index` instead).
+        """
+        blockno, _height = self._read_meta()
+        node = self._read_node(blockno)
+        while not node.is_leaf:
+            blockno = node.values[bisect.bisect_left(node.keys, key)][0]
+            node = self._read_node(blockno)
+        return blockno, node
+
+    def search(self, key: Key) -> list[Value]:
+        """All values stored under exactly *key* (duplicates preserved)."""
+        key = self._check_key(key)
+        return [value for _k, value in self.range_scan(key, key)]
+
+    def range_scan(self, lo: Key | None = None,
+                   hi: Key | None = None) -> Iterator[tuple[Key, Value]]:
+        """Entries with ``lo <= key <= hi``, in key order.
+
+        ``None`` bounds are open.  Follows leaf sibling links, so a scan
+        costs one page read per leaf touched.
+        """
+        if lo is not None:
+            lo = self._check_key(lo)
+            _blockno, node = self._find_leaf(lo)
+            start = bisect.bisect_left(node.keys, lo)
+        else:
+            node = self._leftmost_leaf()
+            start = 0
+        if hi is not None:
+            hi = self._check_key(hi)
+        while True:
+            for i in range(start, len(node.keys)):
+                if hi is not None and node.keys[i] > hi:
+                    return
+                yield node.keys[i], node.values[i]
+            if node.right < 0:
+                return
+            node = self._read_node(node.right)
+            start = 0
+
+    def _leftmost_leaf(self) -> _Node:
+        blockno, _height = self._read_meta()
+        node = self._read_node(blockno)
+        while not node.is_leaf:
+            node = self._read_node(node.values[0][0])
+        return node
+
+    # -- delete ---------------------------------------------------------------------------
+
+    def delete(self, key: Key, value: Value | None = None) -> int:
+        """Remove entries with *key* (and *value*, if given).
+
+        Returns the number of entries removed.  Nodes are never merged.
+        """
+        key = self._check_key(key)
+        removed = 0
+        blockno, node = self._find_leaf(key)
+        while True:
+            changed = False
+            i = bisect.bisect_left(node.keys, key)
+            while i < len(node.keys) and node.keys[i] == key:
+                if value is None or node.values[i] == tuple(value):
+                    del node.keys[i]
+                    del node.values[i]
+                    removed += 1
+                    changed = True
+                else:
+                    i += 1
+            if changed:
+                self._store_node(blockno, node)
+            if node.keys and node.keys[-1] > key:
+                return removed
+            if node.right < 0:
+                return removed
+            blockno, node = node.right, self._read_node(node.right)
+            if not node.keys or node.keys[0] > key:
+                return removed
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Levels above the leaves (0 for a single-leaf tree)."""
+        return self._read_meta()[1]
+
+    def entry_count(self) -> int:
+        """Total entries (walks every leaf)."""
+        return sum(1 for _ in self.range_scan())
+
+    def check_invariants(self) -> None:
+        """Verify ordering and structure; raises on violation (tests)."""
+        previous: Key | None = None
+        for key, _value in self.range_scan():
+            if previous is not None and key < previous:
+                raise RelationError(
+                    f"index {self.name!r} keys out of order: "
+                    f"{key} after {previous}")
+            previous = key

@@ -1,0 +1,282 @@
+"""Heap relations with no-overwrite versioning.
+
+A heap relation ("class" in POSTGRES terms) is a file of slotted pages
+holding :mod:`tuple versions <repro.access.tuples>`.  The write operations
+follow the POSTGRES storage system:
+
+* ``insert`` appends a new version stamped ``xmin = current xid``;
+* ``delete`` stamps ``xmax`` on the existing version **in place** — the
+  version stays on disk for time travel;
+* ``replace`` is delete + insert of a new version *with the same oid*;
+* ``vacuum`` is the only operation that physically removes versions, and
+  only those dead before a caller-supplied horizon.
+
+Every mutation records the relation file in the transaction's touched set
+so commit can force it to stable storage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.access.schema import Schema
+from repro.access.tuples import (
+    TID,
+    HeapTuple,
+    deserialize_tuple,
+    read_stamps,
+    serialize_tuple,
+    stamp_xmax,
+)
+from repro.errors import RelationError, TransactionError, TupleNotFound
+from repro.smgr.base import StorageManager
+from repro.storage.buffer import BufferManager
+from repro.storage.constants import INVALID_XID, MAX_TUPLE_SIZE
+from repro.storage.fsm import FreeSpaceMap
+from repro.storage.page import SlottedPage
+from repro.txn.manager import Transaction
+from repro.txn.snapshot import Snapshot
+from repro.txn.xlog import CommitLog, TxnStatus
+
+
+class HeapRelation:
+    """One POSTGRES class stored as a heap of versioned tuples."""
+
+    def __init__(self, name: str, schema: Schema, smgr: StorageManager,
+                 bufmgr: BufferManager, clog: CommitLog,
+                 oid_source: Callable[[], int], fileid: str | None = None):
+        self.name = name
+        self.schema = schema
+        self.smgr = smgr
+        self.bufmgr = bufmgr
+        self.clog = clog
+        self.oid_source = oid_source
+        self.fileid = fileid or f"heap_{name}"
+        self.fsm = FreeSpaceMap()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def create_storage(self) -> None:
+        """Create the backing relation file (idempotent)."""
+        self.smgr.create(self.fileid)
+
+    def drop_storage(self) -> None:
+        """Discard buffers and unlink the backing file."""
+        self.bufmgr.drop_file(self.smgr, self.fileid)
+        self.smgr.unlink(self.fileid)
+        self.fsm.forget()
+
+    def nblocks(self) -> int:
+        return self.bufmgr.nblocks(self.smgr, self.fileid)
+
+    def byte_size(self) -> int:
+        """Bytes the relation occupies (buffered tail included)."""
+        from repro.storage.constants import PAGE_SIZE
+        return self.nblocks() * PAGE_SIZE
+
+    # -- insert ---------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, values: tuple,
+               oid: int | None = None) -> TID:
+        """Insert a new tuple; returns its TID.
+
+        The tuple's oid defaults to a fresh one from the oid source; pass
+        *oid* explicitly when writing a new version of an existing object.
+        """
+        txn.require_active()
+        if oid is None:
+            oid = self.oid_source()
+        image = serialize_tuple(self.schema, txn.xid, oid, values)
+        if len(image) > MAX_TUPLE_SIZE:
+            raise RelationError(
+                f"tuple of {len(image)} bytes exceeds the page limit "
+                f"{MAX_TUPLE_SIZE} for relation {self.name!r} "
+                f"(store big values as large objects)")
+        tid = self._place(image)
+        txn.touch(self.smgr, self.fileid)
+        return tid
+
+    def _place(self, image: bytes) -> TID:
+        """Store an image on a page with room, extending if needed."""
+        target = self.fsm.find(len(image))
+        if target is None:
+            nblocks = self.nblocks()
+            target = nblocks - 1 if nblocks else None
+        if target is not None:
+            buf = self.bufmgr.pin(self.smgr, self.fileid, target)
+            try:
+                slot = self._try_add(buf.page, image)
+                if slot is not None:
+                    self._after_place(buf.page, target)
+                    self.bufmgr.unpin(buf, dirty=True)
+                    return TID(target, slot)
+            except Exception:
+                self.bufmgr.unpin(buf)
+                raise
+            self.bufmgr.unpin(buf)
+        buf = self.bufmgr.allocate(self.smgr, self.fileid)
+        try:
+            slot = buf.page.add_item(image)
+            self._after_place(buf.page, buf.blockno)
+            blockno = buf.blockno
+        finally:
+            self.bufmgr.unpin(buf, dirty=True)
+        return TID(blockno, slot)
+
+    def insert_raw(self, image: bytes) -> TID:
+        """Place a pre-serialized tuple image, preserving its stamps.
+
+        Used by the archival vacuum to move versions between relations
+        without rewriting their transaction history.  The caller owns
+        durability (this is maintenance work, outside any transaction).
+        """
+        if len(image) > MAX_TUPLE_SIZE:
+            raise RelationError(
+                f"tuple image of {len(image)} bytes exceeds the page "
+                f"limit for relation {self.name!r}")
+        return self._place(image)
+
+    @staticmethod
+    def _try_add(page: SlottedPage, image: bytes) -> int | None:
+        """Add to *page*, compacting first if fragmentation is the issue."""
+        if page.free_space() < len(image):
+            live = sum(page.item_id(s).length for s in page.live_slots())
+            from repro.storage.constants import (
+                ITEM_ID_SIZE,
+                PAGE_HEADER_SIZE,
+                PAGE_SIZE,
+            )
+            ceiling = (PAGE_SIZE - PAGE_HEADER_SIZE
+                       - (page.slot_count + 1) * ITEM_ID_SIZE)
+            if ceiling - live < len(image):
+                return None
+            page.compact()
+            if page.free_space() < len(image):
+                return None
+        return page.add_item(image)
+
+    def _after_place(self, page: SlottedPage, blockno: int) -> None:
+        self.fsm.record(blockno, page.free_space())
+        self.fsm.note_insert_target(blockno)
+
+    # -- point reads -------------------------------------------------------------------
+
+    def fetch_any_version(self, tid: TID) -> HeapTuple:
+        """The tuple at *tid* regardless of visibility."""
+        with self.bufmgr.page(self.smgr, self.fileid, tid.blockno) as page:
+            try:
+                image = page.get_item(tid.slot)
+            except Exception as exc:
+                raise TupleNotFound(
+                    f"no tuple at {tid} in {self.name!r}") from exc
+        return deserialize_tuple(self.schema, image, tid)
+
+    def fetch(self, tid: TID, snapshot: Snapshot) -> HeapTuple | None:
+        """The tuple at *tid* if visible to *snapshot*, else ``None``."""
+        tup = self.fetch_any_version(tid)
+        if snapshot.is_visible(tup.xmin, tup.xmax, self.clog):
+            return tup
+        return None
+
+    # -- delete / replace ------------------------------------------------------------------
+
+    def delete(self, txn: Transaction, tid: TID) -> None:
+        """Stamp ``xmax = txn.xid`` on the version at *tid*.
+
+        Rejects tuples already deleted by a live or committed transaction
+        (a write-write conflict under no-wait 2PL); a stamp left by an
+        *aborted* deleter is overwritten.
+        """
+        txn.require_active()
+        buf = self.bufmgr.pin(self.smgr, self.fileid, tid.blockno)
+        try:
+            try:
+                image = page_image = buf.page.get_item(tid.slot)
+            except Exception as exc:
+                raise TupleNotFound(
+                    f"no tuple at {tid} in {self.name!r}") from exc
+            _xmin, xmax, _oid = read_stamps(page_image)
+            if xmax != INVALID_XID and xmax != txn.xid:
+                if self.clog.status(xmax) != TxnStatus.ABORTED:
+                    raise TransactionError(
+                        f"tuple {tid} in {self.name!r} already deleted "
+                        f"by transaction {xmax}")
+            buf.page.overwrite_item(tid.slot, stamp_xmax(image, txn.xid))
+        finally:
+            self.bufmgr.unpin(buf, dirty=True)
+        txn.touch(self.smgr, self.fileid)
+
+    def replace(self, txn: Transaction, tid: TID, values: tuple) -> TID:
+        """Write a new version of the tuple at *tid* (same oid)."""
+        old = self.fetch_any_version(tid)
+        self.delete(txn, tid)
+        return self.insert(txn, values, oid=old.oid)
+
+    # -- scans ------------------------------------------------------------------------------
+
+    def scan(self, snapshot: Snapshot) -> Iterator[HeapTuple]:
+        """All tuple versions visible to *snapshot*, in physical order."""
+        for tup in self.scan_versions():
+            if snapshot.is_visible(tup.xmin, tup.xmax, self.clog):
+                yield tup
+
+    def scan_versions(self) -> Iterator[HeapTuple]:
+        """Every stored version, visible or not (vacuum, debugging)."""
+        for blockno in range(self.nblocks()):
+            with self.bufmgr.page(self.smgr, self.fileid, blockno) as page:
+                slots = page.live_slots()
+                images = [(s, page.get_item(s)) for s in slots]
+            for slot, image in images:
+                yield deserialize_tuple(self.schema, image,
+                                        TID(blockno, slot))
+
+    # -- vacuum ------------------------------------------------------------------------------
+
+    def vacuum(self, horizon: float | None = None,
+               removed_sink: list | None = None) -> int:
+        """Physically remove dead versions; returns how many were removed.
+
+        A version is dead if its inserter aborted, or its deleter committed
+        — and, when *horizon* is given, committed **before** *horizon*
+        (keeping history reachable by time travel after the horizon).
+        With ``horizon=None`` all superseded versions go, discarding
+        history, which is what the paper's u-file/p-file implementations
+        effectively live with permanently.
+
+        When *removed_sink* is given, each removed version is appended as
+        a decoded :class:`HeapTuple` — the caller (normally
+        :meth:`Database.vacuum`) uses these to prune index entries, since
+        freed slots may be reused and stale entries must not dangle.
+        """
+        removed = 0
+        for blockno in range(self.nblocks()):
+            buf = self.bufmgr.pin(self.smgr, self.fileid, blockno)
+            try:
+                dirty = False
+                for slot in buf.page.live_slots():
+                    image = buf.page.get_item(slot)
+                    xmin, xmax, _oid = read_stamps(image)
+                    if self._is_dead(xmin, xmax, horizon):
+                        if removed_sink is not None:
+                            removed_sink.append(deserialize_tuple(
+                                self.schema, image, TID(blockno, slot)))
+                        buf.page.delete_item(slot)
+                        removed += 1
+                        dirty = True
+                if dirty:
+                    buf.page.compact()
+                    self.fsm.record(blockno, buf.page.free_space())
+            finally:
+                self.bufmgr.unpin(buf, dirty=dirty)
+        return removed
+
+    def _is_dead(self, xmin: int, xmax: int, horizon: float | None) -> bool:
+        if self.clog.status(xmin) == TxnStatus.ABORTED:
+            return True
+        if xmax == INVALID_XID:
+            return False
+        if self.clog.status(xmax) != TxnStatus.COMMITTED:
+            return False
+        if horizon is None:
+            return True
+        return self.clog.commit_time(xmax) < horizon

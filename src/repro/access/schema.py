@@ -1,0 +1,218 @@
+"""Relation schemas and attribute type codecs.
+
+A :class:`Schema` is an ordered list of :class:`Attribute`\\ s.  Each
+attribute has a type drawn from the built-in scalar types below; large ADTs
+are *not* stored inline — a large-object column is declared with the large
+type's name and stores the object's **designator** (an ``oid`` for f-chunk
+and v-segment objects, a file path for u-file and p-file objects), which the
+ADT layer resolves.  That indirection is the heart of the paper's design:
+tuples stay small, objects can be gigabytes.
+
+Scalar values are serialized with a simple length-prefixed format that is
+byte-for-byte stable across runs (tests depend on that for checksums).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SchemaError
+
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+@dataclass(frozen=True)
+class TypeCodec:
+    """Encode/decode one scalar type to/from bytes."""
+
+    name: str
+    encode: Callable[[Any], bytes]
+    decode: Callable[[bytes], Any]
+    python_types: tuple[type, ...]
+
+    def check(self, value: Any) -> None:
+        if not isinstance(value, self.python_types):
+            raise SchemaError(
+                f"value {value!r} is not valid for type {self.name} "
+                f"(expected {', '.join(t.__name__ for t in self.python_types)})")
+
+
+def _encode_int4(value: int) -> bytes:
+    try:
+        return _I32.pack(value)
+    except struct.error as exc:
+        raise SchemaError(f"int4 out of range: {value}") from exc
+
+
+def _encode_int8(value: int) -> bytes:
+    try:
+        return _I64.pack(value)
+    except struct.error as exc:
+        raise SchemaError(f"int8 out of range: {value}") from exc
+
+
+def _encode_text(value: str) -> bytes:
+    return value.encode("utf-8")
+
+
+#: Built-in scalar types.  ``oid`` and ``name`` are POSTGRES-flavoured
+#: aliases with their historical meanings.
+SCALAR_TYPES: dict[str, TypeCodec] = {}
+
+
+def _register(codec: TypeCodec) -> None:
+    SCALAR_TYPES[codec.name] = codec
+
+
+_register(TypeCodec("int4", _encode_int4,
+                    lambda b: _I32.unpack(b)[0], (int,)))
+_register(TypeCodec("int8", _encode_int8,
+                    lambda b: _I64.unpack(b)[0], (int,)))
+_register(TypeCodec("oid", _encode_int8,
+                    lambda b: _I64.unpack(b)[0], (int,)))
+_register(TypeCodec("float8", lambda v: _F64.pack(float(v)),
+                    lambda b: _F64.unpack(b)[0], (int, float)))
+_register(TypeCodec("bool", lambda v: b"\x01" if v else b"\x00",
+                    lambda b: b == b"\x01", (bool,)))
+_register(TypeCodec("text", _encode_text,
+                    lambda b: b.decode("utf-8"), (str,)))
+_register(TypeCodec("name", _encode_text,
+                    lambda b: b.decode("utf-8"), (str,)))
+_register(TypeCodec("bytea", bytes,
+                    bytes, (bytes, bytearray, memoryview)))
+
+
+def scalar_codec(type_name: str) -> TypeCodec:
+    """The codec for a built-in scalar type name."""
+    codec = SCALAR_TYPES.get(type_name)
+    if codec is None:
+        raise SchemaError(f"unknown scalar type {type_name!r} "
+                          f"(have: {sorted(SCALAR_TYPES)})")
+    return codec
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column: a name and a type.
+
+    ``type_name`` may be a scalar type or a registered (large) ADT name;
+    non-scalar attributes store their *designator type* on disk, declared
+    via ``storage_type`` ("oid" for chunked objects, "text" for file
+    paths).
+    """
+
+    name: str
+    type_name: str
+    storage_type: str = ""
+
+    def codec(self) -> TypeCodec:
+        return scalar_codec(self.storage_type or self.type_name)
+
+
+class Schema:
+    """Ordered attribute list with record (de)serialization.
+
+    Record wire format: ``natts(u16)`` then, per attribute,
+    ``length(u32)`` + payload, with length ``0xFFFFFFFF`` denoting NULL.
+    """
+
+    _LEN = struct.Struct("<I")
+    _NATTS = struct.Struct("<H")
+    _NULL = 0xFFFFFFFF
+
+    def __init__(self, attributes: list[Attribute]):
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [attr.name for attr in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {names}")
+        self.attributes = list(attributes)
+        self._index = {attr.name: i for i, attr in enumerate(attributes)}
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Schema)
+                and self.attributes == other.attributes)
+
+    def names(self) -> list[str]:
+        return [attr.name for attr in self.attributes]
+
+    def position(self, name: str) -> int:
+        """Index of attribute *name*."""
+        if name not in self._index:
+            raise SchemaError(
+                f"no attribute {name!r} (have: {self.names()})")
+        return self._index[name]
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.position(name)]
+
+    # -- record serialization ----------------------------------------------------
+
+    def encode(self, values: tuple) -> bytes:
+        """Serialize one record.  ``None`` encodes as NULL."""
+        if len(values) != len(self.attributes):
+            raise SchemaError(
+                f"record has {len(values)} values for "
+                f"{len(self.attributes)} attributes")
+        parts = [self._NATTS.pack(len(values))]
+        for attr, value in zip(self.attributes, values):
+            if value is None:
+                parts.append(self._LEN.pack(self._NULL))
+                continue
+            codec = attr.codec()
+            codec.check(value)
+            payload = codec.encode(value)
+            if len(payload) >= self._NULL:
+                raise SchemaError(
+                    f"attribute {attr.name!r} value too large "
+                    f"({len(payload)} bytes)")
+            parts.append(self._LEN.pack(len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> tuple:
+        """Deserialize one record produced by :meth:`encode`."""
+        (natts,) = self._NATTS.unpack_from(data, 0)
+        if natts != len(self.attributes):
+            raise SchemaError(
+                f"record has {natts} attributes, schema has "
+                f"{len(self.attributes)}")
+        pos = self._NATTS.size
+        values = []
+        for attr in self.attributes:
+            (length,) = self._LEN.unpack_from(data, pos)
+            pos += self._LEN.size
+            if length == self._NULL:
+                values.append(None)
+                continue
+            payload = data[pos:pos + length]
+            if len(payload) != length:
+                raise SchemaError(
+                    f"truncated record while decoding {attr.name!r}")
+            values.append(attr.codec().decode(payload))
+            pos += length
+        return tuple(values)
+
+    # -- catalog persistence -----------------------------------------------------
+
+    def to_dict(self) -> list[dict[str, str]]:
+        """JSON-friendly form for the catalog journal."""
+        return [{"name": a.name, "type": a.type_name,
+                 "storage": a.storage_type}
+                for a in self.attributes]
+
+    @classmethod
+    def from_dict(cls, data: list[dict[str, str]]) -> "Schema":
+        return cls([Attribute(d["name"], d["type"], d.get("storage", ""))
+                    for d in data])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{a.name}={a.type_name}" for a in self.attributes)
+        return f"Schema({cols})"

@@ -1,0 +1,19 @@
+"""The abstract-data-type system: types, functions, operators.
+
+The paper's central argument (§3) is that large objects should be *large
+ADTs*: typed values with registered input/output conversion routines and
+user-defined functions and operators that the DBMS can run directly —
+instead of opaque BLOBs that must be shipped to the client to be examined.
+"""
+
+from repro.adt.functions import FunctionDef, FunctionRegistry
+from repro.adt.types import TypeDefinition, TypeRegistry
+from repro.adt.values import Datum
+
+__all__ = [
+    "TypeDefinition",
+    "TypeRegistry",
+    "FunctionDef",
+    "FunctionRegistry",
+    "Datum",
+]

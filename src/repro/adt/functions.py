@@ -1,0 +1,131 @@
+"""User-defined functions and operators over ADTs.
+
+The paper's motivating example (§5)::
+
+    retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike"
+
+``clip`` is a registered function taking an ``image`` (a large ADT —
+delivered to the function as an open, file-oriented
+:class:`~repro.lo.interface.LargeObject` so it never has to fit in memory)
+and a ``rect``, returning a new ``image`` — which the function must
+materialize as a **temporary large object** (§5), garbage-collected at end
+of query unless the result is stored.
+
+Functions that create large objects declare ``needs_context=True`` and
+receive a context object exposing ``create_temporary()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import UnknownFunction
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """One registered function signature."""
+
+    name: str
+    arg_types: tuple[str, ...]
+    return_type: str
+    fn: Callable[..., Any]
+    #: If true, the executor passes a FunctionContext as first argument.
+    needs_context: bool = False
+
+    def signature(self) -> str:
+        return f"{self.name}({', '.join(self.arg_types)})"
+
+
+class FunctionRegistry:
+    """Functions and operators known to one database.
+
+    Resolution is exact on (name, argument types); ``"*"`` in a registered
+    signature matches any type, supporting generic functions like
+    ``length(*)``.
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[tuple[str, tuple[str, ...]], FunctionDef] = {}
+        self._by_name: dict[str, list[FunctionDef]] = {}
+        self._operators: dict[tuple[str, str, str], str] = {}
+        self._register_builtins()
+
+    def _register_builtins(self) -> None:
+        for t in ("int4", "int8", "float8"):
+            self.register("abs", (t,), t, abs)
+        self.register("length", ("text",), "int4", len)
+        self.register("length", ("bytea",), "int4", len)
+        self.register("upper", ("text",), "text", str.upper)
+        self.register("lower", ("text",), "text", str.lower)
+        for sym, name in (("+", "plus"), ("-", "minus"),
+                          ("*", "times"), ("/", "divide")):
+            for t in ("int4", "int8", "float8"):
+                self.register_operator(sym, t, t, name)
+        import operator
+        arith = {"plus": operator.add, "minus": operator.sub,
+                 "times": operator.mul, "divide": self._divide}
+        for fname, fn in arith.items():
+            for t in ("int4", "int8", "float8"):
+                self.register(fname, (t, t), t, fn)
+
+    @staticmethod
+    def _divide(a, b):
+        if isinstance(a, int) and isinstance(b, int):
+            return a // b
+        return a / b
+
+    # -- registration ---------------------------------------------------------------
+
+    def register(self, name: str, arg_types: tuple[str, ...],
+                 return_type: str, fn: Callable[..., Any],
+                 needs_context: bool = False) -> FunctionDef:
+        """Register *fn* under (*name*, *arg_types*) returning *return_type*."""
+        definition = FunctionDef(name=name, arg_types=tuple(arg_types),
+                                 return_type=return_type, fn=fn,
+                                 needs_context=needs_context)
+        self._functions[(name, definition.arg_types)] = definition
+        self._by_name.setdefault(name, []).append(definition)
+        return definition
+
+    def register_operator(self, symbol: str, left_type: str,
+                          right_type: str, function_name: str) -> None:
+        """Bind binary operator *symbol* over the given types to a function."""
+        self._operators[(symbol, left_type, right_type)] = function_name
+
+    # -- resolution ------------------------------------------------------------------
+
+    def resolve(self, name: str,
+                arg_types: tuple[str, ...]) -> FunctionDef:
+        """The function matching *name* applied to *arg_types*."""
+        exact = self._functions.get((name, tuple(arg_types)))
+        if exact is not None:
+            return exact
+        for candidate in self._by_name.get(name, []):
+            if len(candidate.arg_types) != len(arg_types):
+                continue
+            if all(want in ("*", got)
+                   for want, got in zip(candidate.arg_types, arg_types)):
+                return candidate
+        have = [d.signature() for d in self._by_name.get(name, [])]
+        raise UnknownFunction(
+            f"no function {name}({', '.join(arg_types)})"
+            + (f"; candidates: {have}" if have else ""))
+
+    def resolve_operator(self, symbol: str, left_type: str,
+                         right_type: str) -> FunctionDef:
+        """The function bound to *symbol* over (*left_type*, *right_type*)."""
+        fname = self._operators.get((symbol, left_type, right_type))
+        if fname is None:
+            fname = self._operators.get((symbol, "*", "*"))
+        if fname is None:
+            raise UnknownFunction(
+                f"no operator {left_type} {symbol} {right_type}")
+        return self.resolve(fname, (left_type, right_type))
+
+    def exists(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)

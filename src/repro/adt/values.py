@@ -1,0 +1,38 @@
+"""Typed values flowing through the query executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Datum:
+    """A value tagged with its ADT name.
+
+    The executor carries Datums so operator/function resolution can
+    dispatch on argument types — e.g. ``clip(image, rect)`` finds the
+    registered ``clip`` over exactly those types.
+    """
+
+    type_name: str
+    value: Any
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    @staticmethod
+    def infer(value: Any) -> "Datum":
+        """Wrap a Python literal in its natural ADT."""
+        if isinstance(value, bool):
+            return Datum("bool", value)
+        if isinstance(value, int):
+            return Datum("int4" if -2**31 <= value < 2**31 else "int8",
+                         value)
+        if isinstance(value, float):
+            return Datum("float8", value)
+        if isinstance(value, bytes):
+            return Datum("bytea", value)
+        if isinstance(value, str):
+            return Datum("text", value)
+        raise TypeError(f"cannot infer an ADT for {value!r}")

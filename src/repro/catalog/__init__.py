@@ -1,0 +1,17 @@
+"""System catalogs: relations, indexes, large objects, and persistence."""
+
+from repro.catalog.catalog import (
+    Catalog,
+    IndexEntry,
+    LargeObjectEntry,
+    RelationEntry,
+)
+from repro.catalog.journal import CatalogJournal
+
+__all__ = [
+    "Catalog",
+    "RelationEntry",
+    "IndexEntry",
+    "LargeObjectEntry",
+    "CatalogJournal",
+]

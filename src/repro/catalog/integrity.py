@@ -1,0 +1,207 @@
+"""Whole-database integrity checking (à la PostgreSQL's amcheck).
+
+``Database.check_integrity()`` walks every layer and returns a list of
+problem descriptions (empty = healthy):
+
+* **catalog ↔ storage**: every cataloged class/index has a backing file;
+* **pages**: every page parses, and its line pointers stay inside bounds;
+* **tuples**: every live tuple decodes under its relation's schema, and
+  its transaction stamps refer to known-fate xids;
+* **B-trees**: key ordering holds, and every index entry's TID points at
+  a decodable heap tuple;
+* **large objects**: every cataloged object has its chunk relations, its
+  ``pg_largeobject`` size row, and (v-segment) a byte store covering every
+  visible segment;
+* **Inversion**: every live DIRECTORY file row has STORAGE and FILESTAT
+  rows, and storage designators resolve.
+
+The checker only reads; it never repairs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.access.tuples import TID
+from repro.errors import ReproError
+from repro.storage.constants import INVALID_XID, PAGE_SIZE
+from repro.txn.xlog import TxnStatus
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+
+class IntegrityChecker:
+    """Read-only consistency sweep over one database."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self.problems: list[str] = []
+
+    def _report(self, message: str) -> None:
+        self.problems.append(message)
+
+    # -- entry point -------------------------------------------------------------
+
+    def run(self) -> list[str]:
+        """Run every check; returns the accumulated problem list."""
+        self.problems = []
+        self._check_catalog_storage()
+        for name in self.db.catalog.relation_names():
+            self._check_heap(name)
+        for index_name in sorted(self.db.catalog.indexes):
+            self._check_index(index_name)
+        self._check_large_objects()
+        self._check_inversion()
+        return self.problems
+
+    # -- individual checks ----------------------------------------------------------
+
+    def _check_catalog_storage(self) -> None:
+        for name, entry in sorted(self.db.catalog.relations.items()):
+            smgr = self.db.storage_manager(entry.smgr_name)
+            if not smgr.exists(entry.fileid):
+                self._report(f"class {name!r}: backing file "
+                             f"{entry.fileid!r} missing on "
+                             f"{entry.smgr_name!r}")
+        for name, entry in sorted(self.db.catalog.indexes.items()):
+            relation = self.db.catalog.relations.get(entry.relation)
+            if relation is None:
+                self._report(f"index {name!r}: its class "
+                             f"{entry.relation!r} is not cataloged")
+
+    def _check_heap(self, name: str) -> None:
+        entry = self.db.catalog.relations[name]
+        if not self.db.storage_manager(entry.smgr_name).exists(
+                entry.fileid):
+            return  # already reported by the catalog/storage check
+        try:
+            relation = self.db.get_class(name)
+        except ReproError as exc:
+            self._report(f"class {name!r}: unopenable: {exc}")
+            return
+        for blockno in range(relation.nblocks()):
+            try:
+                with self.db.bufmgr.page(relation.smgr, relation.fileid,
+                                         blockno) as page:
+                    if page.lower > page.upper or page.upper > PAGE_SIZE:
+                        self._report(f"class {name!r} page {blockno}: "
+                                     f"header bounds corrupt")
+                        continue
+                    slots = page.live_slots()
+                    images = [(s, page.get_item(s)) for s in slots]
+            except ReproError as exc:
+                self._report(f"class {name!r} page {blockno}: {exc}")
+                continue
+            for slot, image in images:
+                self._check_tuple(name, relation, TID(blockno, slot),
+                                  image)
+
+    def _check_tuple(self, name: str, relation, tid: TID,
+                     image: bytes) -> None:
+        from repro.access.tuples import deserialize_tuple
+        try:
+            tup = deserialize_tuple(relation.schema, image, tid)
+        except ReproError as exc:
+            self._report(f"class {name!r} tuple {tid}: undecodable: {exc}")
+            return
+        if tup.xmin == INVALID_XID:
+            self._report(f"class {name!r} tuple {tid}: invalid xmin")
+        for label, xid in (("xmin", tup.xmin), ("xmax", tup.xmax)):
+            if xid == INVALID_XID:
+                continue
+            status = self.db.clog.status(xid)
+            if status == TxnStatus.COMMITTED:
+                try:
+                    self.db.clog.commit_time(xid)
+                except ReproError:
+                    self._report(f"class {name!r} tuple {tid}: committed "
+                                 f"{label} {xid} has no commit time")
+
+    def _check_index(self, index_name: str) -> None:
+        entry = self.db.catalog.indexes.get(index_name)
+        if entry is None or entry.relation not in self.db.catalog.relations:
+            return
+        try:
+            index = self.db.get_index(index_name)
+            index.check_invariants()
+        except ReproError as exc:
+            self._report(f"index {index_name!r}: {exc}")
+            return
+        relation = self.db.get_class(entry.relation)
+        for key, (blockno, slot) in index.range_scan():
+            try:
+                relation.fetch_any_version(TID(blockno, slot))
+            except ReproError:
+                self._report(f"index {index_name!r} entry {key}: dangling "
+                             f"TID ({blockno},{slot})")
+
+    def _check_large_objects(self) -> None:
+        from repro.db import PG_LARGEOBJECT
+        from repro.lo.fchunk import chunk_class_name
+        from repro.lo.vsegment import segment_class_name
+        snapshot = self.db.snapshot()
+        size_rows = {t.values[0]: t.values[1]
+                     for t in self.db.scan(PG_LARGEOBJECT)}
+        for oid, entry in sorted(self.db.catalog.large_objects.items()):
+            if oid not in size_rows:
+                self._report(f"large object {oid}: no visible size row "
+                             f"in {PG_LARGEOBJECT}")
+            expected = (segment_class_name(oid)
+                        if entry.impl == "vsegment"
+                        else chunk_class_name(oid))
+            if not self.db.class_exists(expected):
+                self._report(f"large object {oid} ({entry.impl}): "
+                             f"class {expected!r} missing")
+            if entry.impl == "vsegment":
+                store_oid = (entry.detail or {}).get("store_oid")
+                if store_oid is None:
+                    self._report(f"large object {oid}: v-segment without "
+                                 f"a recorded byte store")
+                elif store_oid not in self.db.catalog.large_objects:
+                    self._report(f"large object {oid}: byte store "
+                                 f"{store_oid} not cataloged")
+                else:
+                    self._check_segments(oid, store_oid, size_rows,
+                                         snapshot)
+
+    def _check_segments(self, oid: int, store_oid: int, size_rows: dict,
+                        snapshot) -> None:
+        from repro.lo.vsegment import segment_class_name
+        store_size = size_rows.get(store_oid)
+        if store_size is None:
+            self._report(f"large object {oid}: byte store {store_oid} "
+                         f"has no size row")
+            return
+        name = segment_class_name(oid)
+        if not self.db.class_exists(name):
+            return
+        for tup in self.db.get_class(name).scan(snapshot):
+            locn, _length, clen, ptr = tup.values
+            if ptr + clen > store_size:
+                self._report(
+                    f"large object {oid}: segment at {locn} points past "
+                    f"the byte store ({ptr}+{clen} > {store_size})")
+
+    def _check_inversion(self) -> None:
+        from repro.inversion.filesystem import DIRECTORY, FILESTAT, STORAGE
+        if not self.db.class_exists(DIRECTORY):
+            return
+        snapshot = self.db.snapshot()
+        storage_ids = {t.values[0]: t.values[1]
+                       for t in self.db.get_class(STORAGE).scan(snapshot)}
+        stat_ids = {t.values[0]
+                    for t in self.db.get_class(FILESTAT).scan(snapshot)}
+        for tup in self.db.get_class(DIRECTORY).scan(snapshot):
+            name, file_id, _parent, kind = tup.values
+            if file_id not in stat_ids:
+                self._report(f"inversion {name!r} (id {file_id}): "
+                             f"no FILESTAT row")
+            if kind == "f":
+                designator = storage_ids.get(file_id)
+                if designator is None:
+                    self._report(f"inversion file {name!r} (id {file_id})"
+                                 f": no STORAGE row")
+                elif not self.db.lo.exists(designator):
+                    self._report(f"inversion file {name!r}: designator "
+                                 f"{designator!r} dangles")

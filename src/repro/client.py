@@ -1,0 +1,169 @@
+"""The front-end large-object library (the paper's §4 client interface).
+
+POSTGRES applications manipulated large objects through a small C library
+whose descendants still ship with PostgreSQL today (``lo_creat``,
+``lo_open``, ``lo_lseek``, ...).  This module provides that exact calling
+convention over a :class:`~repro.db.Database`, for code ported from (or
+to) the historical API:
+
+>>> from repro.db import Database
+>>> from repro.client import LargeObjectApi
+>>> db = Database()
+>>> api = LargeObjectApi(db)
+>>> api.begin()
+>>> oid = api.lo_creat()
+>>> fd = api.lo_open(oid, api.INV_WRITE)
+>>> api.lo_write(fd, b"hello")
+5
+>>> api.lo_lseek(fd, 0, 0)
+0
+>>> api.lo_read(fd, 5)
+b'hello'
+>>> api.lo_close(fd)
+>>> api.commit()
+
+Descriptors are small integers scoped to the API object; the mode flags
+``INV_READ`` / ``INV_WRITE`` are the historical names.
+"""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.errors import LargeObjectError, NoActiveTransaction
+from repro.lo.interface import LargeObject
+from repro.lo.manager import designator_oid, is_chunked
+from repro.txn.manager import Transaction
+
+
+class LargeObjectApi:
+    """libpq-style large-object calls over one database connection."""
+
+    #: Historical inversion-API mode bits.
+    INV_READ = 0x40000
+    INV_WRITE = 0x20000
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._txn: Transaction | None = None
+        self._descriptors: dict[int, LargeObject] = {}
+        self._next_fd = 1
+
+    # -- transaction plumbing (lo_* calls require one, as in PostgreSQL) ----
+
+    def begin(self) -> None:
+        """Start the connection's transaction."""
+        if self._txn is not None and self._txn.is_active:
+            raise LargeObjectError("transaction already in progress")
+        self._txn = self.db.begin()
+
+    def commit(self) -> None:
+        self._close_all()
+        self._require_txn().commit()
+        self._txn = None
+
+    def rollback(self) -> None:
+        self._close_all()
+        self._require_txn().abort()
+        self._txn = None
+
+    def _require_txn(self) -> Transaction:
+        if self._txn is None or not self._txn.is_active:
+            raise NoActiveTransaction(
+                "large-object calls must run inside begin()/commit()")
+        return self._txn
+
+    def _close_all(self) -> None:
+        for handle in self._descriptors.values():
+            handle.close()
+        self._descriptors.clear()
+
+    # -- object lifecycle ------------------------------------------------------
+
+    def lo_creat(self, impl: str = "fchunk",
+                 compression: str = "none") -> int:
+        """Create a large object; returns its oid."""
+        designator = self.db.lo.create(self._require_txn(), impl,
+                                       compression=compression)
+        if not is_chunked(designator):
+            raise LargeObjectError(
+                f"lo_creat supports chunked implementations, not {impl}")
+        return designator_oid(designator)
+
+    def lo_unlink(self, oid: int) -> None:
+        """Destroy a large object."""
+        self.db.lo.unlink(self._require_txn(), f"lo:{oid}")
+
+    # -- descriptors ------------------------------------------------------------
+
+    def lo_open(self, oid: int, mode: int) -> int:
+        """Open object *oid*; returns a descriptor number."""
+        if not mode & (self.INV_READ | self.INV_WRITE):
+            raise LargeObjectError(f"bad lo_open mode {mode:#x}")
+        open_mode = "rw" if mode & self.INV_WRITE else "r"
+        handle = self.db.lo.open(f"lo:{oid}", self._require_txn(),
+                                 open_mode)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._descriptors[fd] = handle
+        return fd
+
+    def _handle(self, fd: int) -> LargeObject:
+        handle = self._descriptors.get(fd)
+        if handle is None:
+            raise LargeObjectError(f"bad large-object descriptor {fd}")
+        return handle
+
+    def lo_close(self, fd: int) -> None:
+        self._handle(fd).close()
+        del self._descriptors[fd]
+
+    # -- I/O -----------------------------------------------------------------------
+
+    def lo_read(self, fd: int, nbytes: int) -> bytes:
+        return self._handle(fd).read(nbytes)
+
+    def lo_write(self, fd: int, data: bytes) -> int:
+        return self._handle(fd).write(data)
+
+    def lo_lseek(self, fd: int, offset: int, whence: int = 0) -> int:
+        return self._handle(fd).seek(offset, whence)
+
+    def lo_tell(self, fd: int) -> int:
+        return self._handle(fd).tell()
+
+    def lo_truncate(self, fd: int, length: int) -> None:
+        """Resize the object (PostgreSQL added this call much later)."""
+        self._handle(fd).truncate(length)
+
+    # -- conveniences (lo_import / lo_export, as in psql) ---------------------------
+
+    def lo_import(self, path: str, impl: str = "fchunk") -> int:
+        """Load a real local file into a new large object."""
+        oid = self.lo_creat(impl)
+        fd = self.lo_open(oid, self.INV_WRITE)
+        try:
+            with open(path, "rb") as source:
+                while True:
+                    piece = source.read(1 << 16)
+                    if not piece:
+                        break
+                    self.lo_write(fd, piece)
+        finally:
+            self.lo_close(fd)
+        return oid
+
+    def lo_export(self, oid: int, path: str) -> int:
+        """Write a large object out to a real local file; returns bytes."""
+        fd = self.lo_open(oid, self.INV_READ)
+        total = 0
+        try:
+            with open(path, "wb") as target:
+                while True:
+                    piece = self.lo_read(fd, 1 << 16)
+                    if not piece:
+                        break
+                    target.write(piece)
+                    total += len(piece)
+        finally:
+            self.lo_close(fd)
+        return total

@@ -1,0 +1,20 @@
+"""The identity compressor (storage parameter ``compression = "none"``)."""
+
+from __future__ import annotations
+
+from repro.compress.base import Compressor, register_compressor
+
+
+class NullCompressor(Compressor):
+    """Stores data verbatim.  Useful as a baseline and a default."""
+
+    name = "none"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+register_compressor("none", NullCompressor)

@@ -1,0 +1,532 @@
+"""The database façade: one object wiring every subsystem together.
+
+A :class:`Database` owns the simulation clock, the storage-manager switch,
+the buffer pool, the transaction machinery, the catalogs, the ADT
+registries, the large-object manager, the Inversion file system, and the
+query-language executor.  Two deployment shapes:
+
+* ``Database()`` — fully in-memory.  The ``"disk"`` storage manager is
+  backed by process memory but charges the magnetic-disk cost model, which
+  is what the benchmark harness uses: wall-clock fast, simulated-time
+  faithful.
+* ``Database(path)`` — durable.  Relation files, ``pg_log``, and the
+  catalog journal live under *path* and survive reopen; commit forces
+  pages per the POSTGRES no-overwrite design.
+
+Example
+-------
+>>> db = Database()
+>>> emp = db.create_class("EMP", [("name", "text"), ("age", "int4")])
+>>> with db.begin() as txn:
+...     _ = db.insert(txn, "EMP", ("Joe", 30))
+>>> [t.values for t in db.scan("EMP")]
+[('Joe', 30)]
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterator
+
+from repro.access.btree import BTree
+from repro.access.heap import HeapRelation
+from repro.access.schema import Attribute, Schema
+from repro.access.tuples import TID, HeapTuple
+from repro.adt.functions import FunctionRegistry
+from repro.adt.types import TypeDefinition, TypeRegistry
+from repro.catalog.catalog import Catalog
+from repro.catalog.journal import CatalogJournal
+from repro.errors import RelationNotFound, SchemaError
+from repro.sim.clock import SimClock
+from repro.sim.devices import CpuModel, magnetic_disk_device
+from repro.smgr.base import StorageManager, StorageManagerSwitch
+from repro.smgr.cache import CachedStorageManager
+from repro.smgr.disk import DiskStorageManager
+from repro.smgr.memory import MemoryStorageManager
+from repro.smgr.worm import WormStorageManager
+from repro.storage.buffer import BufferManager
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.snapshot import Snapshot
+from repro.txn.xlog import CommitLog
+
+if TYPE_CHECKING:
+    from repro.inversion.filesystem import InversionFileSystem
+    from repro.lo.manager import LargeObjectManager
+    from repro.ql.executor import QueryResult
+
+#: System class holding each chunked large object's mutable state (size).
+PG_LARGEOBJECT = "pg_largeobject"
+
+
+class Database:
+    """One POSTGRES-style database instance."""
+
+    def __init__(self, path: str | None = None, pool_size: int = 256,
+                 mips: float = 15.0, worm_cache_blocks: int = 1024,
+                 charge_cpu: bool = True):
+        self.path = path
+        self.clock = SimClock()
+        self.cpu = CpuModel(mips=mips)
+        self.bufmgr = BufferManager(
+            pool_size=pool_size, clock=self.clock,
+            cpu=self.cpu if charge_cpu else None)
+        self.locks = LockManager()
+
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self.clog = CommitLog(os.path.join(path, "pg_log"))
+            journal = CatalogJournal(os.path.join(path, "catalog.journal"))
+        else:
+            self.clog = CommitLog()
+            journal = CatalogJournal()
+        self.tm = TransactionManager(self.clog, self.bufmgr, self.locks,
+                                     self.clock)
+        self.catalog = Catalog(journal)
+        self.types = TypeRegistry()
+        self.functions = FunctionRegistry()
+
+        self.switch = StorageManagerSwitch()
+        self._register_default_smgrs(worm_cache_blocks)
+        self.default_smgr_name = "disk"
+
+        self._relations: dict[str, HeapRelation] = {}
+        self._indexes: dict[str, BTree] = {}
+        self._lo_manager: "LargeObjectManager | None" = None
+        self._inversion: "InversionFileSystem | None" = None
+        self._archiver = None
+        self._bootstrap()
+
+    def _register_default_smgrs(self, worm_cache_blocks: int) -> None:
+        if self.path is not None:
+            base = os.path.join(self.path, "base")
+            self.switch.register(
+                "disk", lambda: DiskStorageManager(base, self.clock))
+        else:
+            # In-memory blocks priced as a magnetic disk: the benchmark mode.
+            self.switch.register(
+                "disk", lambda: MemoryStorageManager(
+                    self.clock, model=magnetic_disk_device()))
+        self.switch.register(
+            "memory", lambda: MemoryStorageManager(self.clock))
+        self.switch.register(
+            "worm", lambda: CachedStorageManager(
+                WormStorageManager(self.clock), self.clock,
+                capacity_blocks=worm_cache_blocks))
+
+    def _bootstrap(self) -> None:
+        """Create system classes on first open."""
+        if PG_LARGEOBJECT not in self.catalog.relations:
+            self.create_class(
+                PG_LARGEOBJECT,
+                [("loid", "oid"), ("size", "int8")])
+        if "pg_largeobject_loid" not in self.catalog.indexes:
+            self.create_index("pg_largeobject_loid", PG_LARGEOBJECT, "loid")
+
+    # -- infrastructure accessors ---------------------------------------------------
+
+    def storage_manager(self, name: str | None = None) -> StorageManager:
+        """The live storage manager instance registered under *name*."""
+        return self.switch.get(name or self.default_smgr_name)
+
+    @property
+    def lo(self) -> "LargeObjectManager":
+        """The large-object manager (lazily constructed)."""
+        if self._lo_manager is None:
+            from repro.lo.manager import LargeObjectManager
+            self._lo_manager = LargeObjectManager(self)
+        return self._lo_manager
+
+    @property
+    def inversion(self) -> "InversionFileSystem":
+        """The Inversion file system over this database."""
+        if self._inversion is None:
+            from repro.inversion.filesystem import InversionFileSystem
+            self._inversion = InversionFileSystem(self)
+        return self._inversion
+
+    # -- transactions ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction (usable as a context manager)."""
+        return self.tm.begin()
+
+    def snapshot(self, txn: Transaction | None = None,
+                 as_of: float | None = None,
+                 until: float | None = None) -> Snapshot:
+        return self.tm.snapshot(txn, as_of=as_of, until=until)
+
+    # -- DDL ------------------------------------------------------------------------------
+
+    def _build_schema(self, columns) -> Schema:
+        if isinstance(columns, Schema):
+            return columns
+        attributes = []
+        for name, type_name in columns:
+            if not self.types.exists(type_name):
+                raise SchemaError(f"unknown type {type_name!r} for "
+                                  f"column {name!r}")
+            definition = self.types.get(type_name)
+            attributes.append(Attribute(name, type_name,
+                                        storage_type=definition.storage_type))
+        return Schema(attributes)
+
+    def create_class(self, name: str, columns,
+                     smgr: str | None = None) -> HeapRelation:
+        """``create <name> (...) [with storage manager <smgr>]``."""
+        schema = self._build_schema(columns)
+        smgr_name = smgr or self.default_smgr_name
+        manager = self.storage_manager(smgr_name)
+        fileid = f"heap_{name}"
+        self.catalog.add_relation(name, schema, smgr_name, fileid)
+        relation = HeapRelation(name, schema, manager, self.bufmgr,
+                                self.clog, self.catalog.allocate_oid,
+                                fileid=fileid)
+        relation.create_storage()
+        self._relations[name] = relation
+        return relation
+
+    def get_class(self, name: str) -> HeapRelation:
+        """The (cached) heap relation for class *name*."""
+        relation = self._relations.get(name)
+        if relation is None:
+            entry = self.catalog.get_relation(name)
+            relation = HeapRelation(
+                entry.name, entry.schema,
+                self.storage_manager(entry.smgr_name), self.bufmgr,
+                self.clog, self.catalog.allocate_oid, fileid=entry.fileid)
+            relation.create_storage()
+            self._relations[name] = relation
+        return relation
+
+    def class_exists(self, name: str) -> bool:
+        return name in self.catalog.relations
+
+    def drop_class(self, name: str) -> None:
+        """Drop a class, its storage, and its indexes."""
+        relation = self.get_class(name)
+        for index_entry in self.catalog.indexes_on(name):
+            self.drop_index(index_entry.name)
+        self.catalog.drop_relation(name)
+        relation.drop_storage()
+        self._relations.pop(name, None)
+
+    def create_index(self, name: str, relation_name: str,
+                     attribute: str) -> BTree:
+        """B-tree index on an integer attribute of a class."""
+        relation = self.get_class(relation_name)
+        attr = relation.schema.attribute(attribute)
+        if (attr.storage_type or attr.type_name) not in (
+                "int4", "int8", "oid"):
+            raise SchemaError(
+                f"can only index integer attributes, {attribute!r} "
+                f"is {attr.type_name}")
+        entry = self.catalog.get_relation(relation_name)
+        fileid = f"btree_{name}"
+        self.catalog.add_index(name, relation_name, attribute, fileid)
+        index = BTree(name, self.storage_manager(entry.smgr_name),
+                      self.bufmgr, key_arity=1, fileid=fileid)
+        index.create_storage()
+        # Index any rows that already exist.
+        position = relation.schema.position(attribute)
+        for tup in relation.scan_versions():
+            key = tup.values[position]
+            if key is not None:
+                index.insert((key,), (tup.tid.blockno, tup.tid.slot))
+        self._indexes[name] = index
+        return index
+
+    def get_index(self, name: str) -> BTree:
+        index = self._indexes.get(name)
+        if index is None:
+            entry = self.catalog.indexes.get(name)
+            if entry is None:
+                raise RelationNotFound(f"no index named {name!r}")
+            relation_entry = self.catalog.get_relation(entry.relation)
+            index = BTree(name,
+                          self.storage_manager(relation_entry.smgr_name),
+                          self.bufmgr, key_arity=1, fileid=entry.fileid)
+            index.create_storage()
+            self._indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        index = self.get_index(name)
+        self.catalog.drop_index(name)
+        index.drop_storage()
+        self._indexes.pop(name, None)
+
+    # -- DML (index-maintaining) --------------------------------------------------------------
+
+    def insert(self, txn: Transaction, class_name: str,
+               values: tuple) -> TID:
+        """Insert *values* into *class_name*, maintaining its indexes."""
+        self.tm.require_transaction(txn)
+        self.locks.acquire(txn.xid, ("relation", class_name),
+                           LockMode.SHARED)
+        relation = self.get_class(class_name)
+        tid = relation.insert(txn, values)
+        self._index_insert(class_name, relation, values, tid, txn)
+        return tid
+
+    def _index_insert(self, class_name: str, relation: HeapRelation,
+                      values: tuple, tid: TID, txn: Transaction) -> None:
+        for entry in self.catalog.indexes_on(class_name):
+            key = values[relation.schema.position(entry.attribute)]
+            if key is not None:
+                index = self.get_index(entry.name)
+                index.insert((key,), (tid.blockno, tid.slot))
+                txn.touch(index.smgr, index.fileid)
+
+    def delete(self, txn: Transaction, class_name: str, tid: TID) -> None:
+        """Delete the tuple at *tid*.
+
+        Index entries are left behind (the old version is still needed for
+        time travel); scans filter by visibility, and vacuum reconciles.
+        """
+        self.tm.require_transaction(txn)
+        self.locks.acquire(txn.xid, ("relation", class_name),
+                           LockMode.SHARED)
+        self.get_class(class_name).delete(txn, tid)
+
+    def replace(self, txn: Transaction, class_name: str, tid: TID,
+                values: tuple) -> TID:
+        """Write a new version of the tuple at *tid*."""
+        self.tm.require_transaction(txn)
+        self.locks.acquire(txn.xid, ("relation", class_name),
+                           LockMode.SHARED)
+        relation = self.get_class(class_name)
+        new_tid = relation.replace(txn, tid, values)
+        self._index_insert(class_name, relation, values, new_tid, txn)
+        return new_tid
+
+    def scan(self, class_name: str, txn: Transaction | None = None,
+             as_of: float | None = None,
+             until: float | None = None) -> Iterator[HeapTuple]:
+        """Visible tuples of *class_name* (optionally at a past instant,
+        or across the interval ``[as_of, until]``).
+
+        Time-travel scans transparently include versions the archival
+        vacuum has moved to the class's archive relation.
+        """
+        snapshot = self.snapshot(txn, as_of=as_of, until=until)
+        if as_of is not None and self.archiver.has_archive(class_name):
+            return self.archiver.scan_with_archive(class_name, snapshot)
+        return self.get_class(class_name).scan(snapshot)
+
+    def fetch(self, class_name: str, tid: TID,
+              txn: Transaction | None = None,
+              as_of: float | None = None) -> HeapTuple | None:
+        """The visible tuple at *tid*, or ``None``."""
+        snapshot = self.snapshot(txn, as_of=as_of)
+        return self.get_class(class_name).fetch(tid, snapshot)
+
+    def history(self, class_name: str, oid: int) -> list[dict]:
+        """Every committed version of the logical tuple *oid*, oldest
+        first, with its validity interval.
+
+        Returns dicts with ``values``, ``valid_from`` (commit time of the
+        inserter) and ``valid_to`` (commit time of the deleter, or
+        ``None`` while live).  Versions moved to the class's archive are
+        included.  Uncommitted and aborted versions are skipped.
+        """
+        from repro.txn.xlog import TxnStatus
+        relation = self.get_class(class_name)
+        sources = [relation.scan_versions()]
+        archive = self.archiver.archive_relation(class_name)
+        if archive is not None:
+            sources.append(archive.scan_versions())
+        versions = []
+        seen = set()
+        for source in sources:
+            for tup in source:
+                if tup.oid != oid:
+                    continue
+                if self.clog.status(tup.xmin) != TxnStatus.COMMITTED:
+                    continue
+                key = (tup.xmin, tup.xmax)
+                if key in seen:  # crash-duplicated archive copy
+                    continue
+                seen.add(key)
+                valid_from = self.clog.commit_time(tup.xmin)
+                valid_to = None
+                if (tup.xmax != 0 and self.clog.status(tup.xmax)
+                        == TxnStatus.COMMITTED):
+                    valid_to = self.clog.commit_time(tup.xmax)
+                versions.append({"values": tup.values,
+                                 "valid_from": valid_from,
+                                 "valid_to": valid_to})
+        versions.sort(key=lambda v: v["valid_from"])
+        return versions
+
+    def index_lookup(self, index_name: str, key: int,
+                     txn: Transaction | None = None,
+                     as_of: float | None = None) -> list[HeapTuple]:
+        """Visible tuples whose indexed attribute equals *key*.
+
+        The fetched tuple's attribute is re-checked against the probe key
+        — a defence against index entries that went stale between a
+        deletion and the vacuum that prunes them.
+        """
+        index = self.get_index(index_name)
+        entry = self.catalog.indexes[index_name]
+        relation = self.get_class(entry.relation)
+        position = relation.schema.position(entry.attribute)
+        snapshot = self.snapshot(txn, as_of=as_of)
+        results = []
+        for blockno, slot in index.search((key,)):
+            tup = relation.fetch(TID(blockno, slot), snapshot)
+            if tup is not None and tup.values[position] == key:
+                results.append(tup)
+        return results
+
+    # -- ADT registration -------------------------------------------------------------------------
+
+    def create_type(self, name: str, input_fn, output_fn) -> TypeDefinition:
+        """``create type`` — register a small ADT."""
+        return self.types.register(name, input_fn, output_fn)
+
+    def create_large_type(self, name: str, storage: str = "fchunk",
+                          compression: str = "none",
+                          input_fn=None, output_fn=None) -> TypeDefinition:
+        """``create large type`` with a storage clause (§4)."""
+        return self.types.register_large(
+            name, storage=storage, compression=compression,
+            input_fn=input_fn, output_fn=output_fn)
+
+    def register_function(self, name: str, arg_types, return_type: str,
+                          fn, needs_context: bool = False):
+        """Register a user-defined function callable from queries."""
+        return self.functions.register(name, tuple(arg_types), return_type,
+                                       fn, needs_context=needs_context)
+
+    # -- queries ------------------------------------------------------------------------------------
+
+    def execute(self, query: str,
+                txn: Transaction | None = None) -> "QueryResult":
+        """Run one mini-POSTQUEL statement.
+
+        Without *txn*, the statement runs in its own transaction, committed
+        on success and aborted on error.
+        """
+        from repro.ql.executor import Executor
+        return Executor(self).execute(query, txn=txn)
+
+    def execute_script(self, script: str,
+                       txn: Transaction | None = None) -> list:
+        """Run `;`-separated statements atomically (one transaction)."""
+        from repro.ql.executor import Executor
+        return Executor(self).execute_script(script, txn=txn)
+
+    def explain(self, query: str) -> str:
+        """Describe how *query* would execute, without running it."""
+        from repro.ql.executor import Executor
+        return Executor(self).explain(query)
+
+    # -- maintenance -----------------------------------------------------------------------------------
+
+    @property
+    def archiver(self):
+        """The archival vacuum cleaner (history → archive storage)."""
+        if self._archiver is None:
+            from repro.access.archive import Archiver
+            self._archiver = Archiver(self)
+        return self._archiver
+
+    def archive_class(self, class_name: str,
+                      horizon: float | None = None) -> dict[str, int]:
+        """Move *class_name*'s dead versions to its archive relation."""
+        return self.archiver.archive_class(class_name, horizon=horizon)
+
+    def vacuum(self, horizon: float | None = None) -> dict[str, int]:
+        """Vacuum every user class; returns per-class removal counts.
+
+        Index entries pointing at removed versions are pruned too —
+        vacuumed slots may be reused, so stale entries must never dangle.
+        """
+        removed = {}
+        for name in self.catalog.relation_names():
+            sink: list = []
+            removed[name] = self.get_class(name).vacuum(
+                horizon, removed_sink=sink)
+            if sink:
+                self.prune_index_entries(name, sink)
+        return removed
+
+    def prune_index_entries(self, class_name: str, tuples) -> int:
+        """Remove the index entries of physically-removed tuple versions."""
+        entries = self.catalog.indexes_on(class_name)
+        if not entries:
+            return 0
+        relation = self.get_class(class_name)
+        pruned = 0
+        for entry in entries:
+            index = self.get_index(entry.name)
+            position = relation.schema.position(entry.attribute)
+            for tup in tuples:
+                key = tup.values[position]
+                if key is not None:
+                    pruned += index.delete(
+                        (key,), (tup.tid.blockno, tup.tid.slot))
+        return pruned
+
+    def checkpoint(self) -> int:
+        """Flush every dirty buffer (returns pages written)."""
+        return self.bufmgr.flush_all()
+
+    def check_integrity(self) -> list[str]:
+        """Read-only consistency sweep over every layer.
+
+        Returns a list of problem descriptions (empty = healthy); see
+        :class:`repro.catalog.integrity.IntegrityChecker`.
+        """
+        from repro.catalog.integrity import IntegrityChecker
+        return IntegrityChecker(self).run()
+
+    def statistics(self) -> dict:
+        """A snapshot of every layer's counters, for monitoring/benchmarks.
+
+        Keys: ``clock`` (simulated seconds by category), ``buffer`` (pool
+        counters and hit rate), ``storage`` (per-manager physical access
+        counters), ``catalog`` (object counts), ``transactions``.
+        """
+        storage = {}
+        for name, smgr in self.switch.items():
+            storage[name] = smgr.stats()
+        return {
+            "clock": {"elapsed": self.clock.elapsed,
+                      **self.clock.breakdown()},
+            "buffer": {
+                "hits": self.bufmgr.stats.hits,
+                "misses": self.bufmgr.stats.misses,
+                "hit_rate": self.bufmgr.stats.hit_rate(),
+                "evictions": self.bufmgr.stats.evictions,
+                "writebacks": self.bufmgr.stats.writebacks,
+                "pool_size": self.bufmgr.pool_size,
+            },
+            "storage": storage,
+            "catalog": {
+                "classes": len(self.catalog.relations),
+                "indexes": len(self.catalog.indexes),
+                "large_objects": len(self.catalog.large_objects),
+            },
+            "transactions": {
+                "active": self.tm.active_count(),
+            },
+        }
+
+    def close(self) -> None:
+        """Flush and release everything; the directory can be reopened."""
+        self.bufmgr.flush_all()
+        for smgr in self.switch.instances():
+            close = getattr(smgr, "close", None)
+            if close is not None:
+                close()
+        self.clog.close()
+        self.catalog.journal.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

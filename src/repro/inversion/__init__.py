@@ -1,0 +1,6 @@
+"""The Inversion file system: conventional files on top of large ADTs (§8)."""
+
+from repro.inversion.file import InversionFile
+from repro.inversion.filesystem import InversionFileSystem
+
+__all__ = ["InversionFileSystem", "InversionFile"]

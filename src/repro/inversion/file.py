@@ -1,0 +1,48 @@
+"""An open Inversion file handle.
+
+Wraps the underlying large object and keeps FILESTAT honest: closing a
+handle that wrote updates the file's modification time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lo.interface import LargeObject
+
+if TYPE_CHECKING:
+    from repro.inversion.filesystem import InversionFileSystem
+    from repro.txn.manager import Transaction
+
+
+class InversionFile(LargeObject):
+    """A file descriptor whose storage is a database large object."""
+
+    def __init__(self, fs: "InversionFileSystem", path: str, file_id: int,
+                 inner: LargeObject, txn: "Transaction | None"):
+        super().__init__(inner.designator, inner.writable)
+        self.fs = fs
+        self.path = path
+        self.file_id = file_id
+        self.inner = inner
+        self.txn = txn
+        self._wrote = False
+
+    def _read_at(self, offset: int, nbytes: int) -> bytes:
+        return self.inner._read_at(offset, nbytes)
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        self.inner._write_at(offset, data)
+        self._wrote = True
+
+    def _size(self) -> int:
+        return self.inner._size()
+
+    def _truncate(self, size: int) -> None:
+        self.inner._truncate(size)
+        self._wrote = True
+
+    def _close(self) -> None:
+        self.inner.close()
+        if self._wrote and self.txn is not None and self.txn.is_active:
+            self.fs._touch_mtime(self.txn, self.file_id)

@@ -1,0 +1,416 @@
+"""The Inversion file system (§8 of the paper).
+
+    STORAGE   (file-id, large-object)
+    DIRECTORY (file-name, file-id, parent-file-id)
+    FILESTAT  (file-id, owner, mode, atime, mtime, ctime)
+
+Inversion stores its metadata in ordinary POSTGRES classes and its file
+contents in large ADTs, so files inherit everything the storage system
+provides: "security, transactions, time travel and compression are
+readily available", and "a user can use the query language to perform
+searches on the DIRECTORY class."
+
+Consequences implemented and tested here:
+
+* every metadata operation runs in a transaction, and a crash or abort
+  rolls back file creation, renames, and writes together;
+* ``as_of`` opens a historical view of the whole tree — directory listing,
+  stat, and file contents at a past instant;
+* the file store is pluggable between f-chunk and v-segment (paper §10:
+  "Inversion can use either"), on any registered storage manager — a new
+  storage manager automatically supports Inversion files.
+
+Paths are ``/``-separated and rooted at ``/``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.access.tuples import TID, HeapTuple
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InversionError,
+    NotADirectory,
+)
+from repro.inversion.file import InversionFile
+from repro.txn.manager import Transaction
+from repro.txn.snapshot import Snapshot
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+DIRECTORY = "DIRECTORY"
+STORAGE = "STORAGE"
+FILESTAT = "FILESTAT"
+
+#: file_id of the root directory.
+ROOT_ID = 1
+
+_KIND_DIR = "d"
+_KIND_FILE = "f"
+
+
+def split_path(path: str) -> list[str]:
+    """Path components of an absolute path ('/' -> [])."""
+    if not path.startswith("/"):
+        raise InversionError(f"Inversion paths are absolute, got {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+class DirEntry:
+    """One resolved directory entry."""
+
+    __slots__ = ("name", "file_id", "parent_id", "kind", "tid")
+
+    def __init__(self, tup: HeapTuple):
+        self.name, self.file_id, self.parent_id, self.kind = tup.values
+        self.tid = tup.tid
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == _KIND_DIR
+
+
+class InversionFileSystem:
+    """A file system whose files are database large objects."""
+
+    def __init__(self, db: "Database", impl: str = "fchunk",
+                 compression: str = "none", smgr: str | None = None,
+                 owner: str = "postgres"):
+        from repro.adt.types import normalize_storage
+        self.db = db
+        self.impl = normalize_storage(impl)
+        if self.impl not in ("fchunk", "vsegment"):
+            raise InversionError(
+                "Inversion files need a transactional implementation "
+                "(f-chunk or v-segment)")
+        self.compression = compression
+        self.smgr = smgr
+        self.owner = owner
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        if not self.db.class_exists(DIRECTORY):
+            self.db.create_class(DIRECTORY, [
+                ("file_name", "text"), ("file_id", "oid"),
+                ("parent_file_id", "oid"), ("kind", "text")])
+            self.db.create_index("inv_dir_parent", DIRECTORY,
+                                 "parent_file_id")
+            self.db.create_class(STORAGE, [
+                ("file_id", "oid"), ("large_object", "text")])
+            self.db.create_index("inv_storage_fid", STORAGE, "file_id")
+            self.db.create_class(FILESTAT, [
+                ("file_id", "oid"), ("owner", "text"), ("mode", "int4"),
+                ("atime", "float8"), ("mtime", "float8"),
+                ("ctime", "float8")])
+            self.db.create_index("inv_stat_fid", FILESTAT, "file_id")
+
+    # -- lookups -------------------------------------------------------------------
+
+    def _snapshot(self, txn: Transaction | None,
+                  as_of: float | None) -> Snapshot:
+        return self.db.snapshot(txn, as_of=as_of)
+
+    def _rows_by_index(self, index_name: str, key: int,
+                       snapshot: Snapshot) -> list[HeapTuple]:
+        index = self.db.get_index(index_name)
+        entry = self.db.catalog.indexes[index_name]
+        relation = self.db.get_class(entry.relation)
+        rows = []
+        for blockno, slot in index.search((key,)):
+            tup = relation.fetch(TID(blockno, slot), snapshot)
+            if tup is not None:
+                rows.append(tup)
+        return rows
+
+    def _children(self, parent_id: int,
+                  snapshot: Snapshot) -> list[DirEntry]:
+        return [DirEntry(t) for t in
+                self._rows_by_index("inv_dir_parent", parent_id, snapshot)]
+
+    def _child(self, parent_id: int, name: str,
+               snapshot: Snapshot) -> DirEntry | None:
+        for entry in self._children(parent_id, snapshot):
+            if entry.name == name:
+                return entry
+        return None
+
+    def _resolve(self, path: str, snapshot: Snapshot) -> DirEntry | None:
+        """The entry at *path*, or ``None``; root resolves to a pseudo-entry."""
+        parts = split_path(path)
+        current: DirEntry | None = None
+        parent_id = ROOT_ID
+        for i, name in enumerate(parts):
+            if current is not None:
+                if not current.is_dir:
+                    raise NotADirectory(
+                        f"{'/'.join(parts[:i])!r} is not a directory")
+                parent_id = current.file_id
+            current = self._child(parent_id, name, snapshot)
+            if current is None:
+                return None
+        return current
+
+    def _require(self, path: str, snapshot: Snapshot) -> DirEntry:
+        if not split_path(path):
+            raise InversionError(f"operation not valid on the root")
+        entry = self._resolve(path, snapshot)
+        if entry is None:
+            raise FileNotFound(f"no Inversion file {path!r}")
+        return entry
+
+    def _parent_of(self, path: str,
+                   snapshot: Snapshot) -> tuple[int, str]:
+        """(parent file_id, leaf name) for *path*, verifying the parent."""
+        parts = split_path(path)
+        if not parts:
+            raise InversionError(f"cannot create the root")
+        if len(parts) == 1:
+            return ROOT_ID, parts[0]
+        parent = self._resolve("/" + "/".join(parts[:-1]), snapshot)
+        if parent is None:
+            raise FileNotFound(
+                f"no Inversion directory {'/' + '/'.join(parts[:-1])!r}")
+        if not parent.is_dir:
+            raise NotADirectory(
+                f"{'/' + '/'.join(parts[:-1])!r} is not a directory")
+        return parent.file_id, parts[-1]
+
+    # -- creation ------------------------------------------------------------------------
+
+    def _new_entry(self, txn: Transaction, path: str, kind: str) -> int:
+        snapshot = self._snapshot(txn, None)
+        parent_id, name = self._parent_of(path, snapshot)
+        if self._child(parent_id, name, snapshot) is not None:
+            raise FileExists(f"Inversion path {path!r} already exists")
+        file_id = self.db.catalog.allocate_oid()
+        self.db.insert(txn, DIRECTORY, (name, file_id, parent_id, kind))
+        now = self.db.clock.now()
+        self.db.insert(txn, FILESTAT,
+                       (file_id, self.owner, 0o644, now, now, now))
+        return file_id
+
+    def mkdir(self, txn: Transaction, path: str) -> int:
+        """Create a directory; returns its file id."""
+        return self._new_entry(txn, path, _KIND_DIR)
+
+    def create(self, txn: Transaction, path: str,
+               impl: str | None = None,
+               compression: str | None = None) -> InversionFile:
+        """Create a file (open for writing); storage defaults to the
+        file system's configured implementation."""
+        file_id = self._new_entry(txn, path, _KIND_FILE)
+        designator = self.db.lo.create(
+            txn, impl or self.impl, smgr=self.smgr,
+            compression=self.compression if compression is None
+            else compression)
+        self.db.insert(txn, STORAGE, (file_id, designator))
+        inner = self.db.lo.open(designator, txn, "rw")
+        return InversionFile(self, path, file_id, inner, txn)
+
+    # -- open / IO -----------------------------------------------------------------------------
+
+    def open(self, path: str, txn: Transaction | None = None,
+             mode: str = "r", as_of: float | None = None) -> InversionFile:
+        """Open an existing file (``mode`` = ``"r"`` or ``"rw"``)."""
+        snapshot = self._snapshot(txn, as_of)
+        entry = self._require(path, snapshot)
+        if entry.is_dir:
+            raise InversionError(f"{path!r} is a directory")
+        rows = self._rows_by_index("inv_storage_fid", entry.file_id,
+                                   snapshot)
+        if not rows:
+            raise InversionError(f"{path!r} has no STORAGE record")
+        designator = rows[0].values[1]
+        inner = self.db.lo.open(designator, txn, mode, as_of=as_of)
+        return InversionFile(self, path, entry.file_id, inner, txn)
+
+    def read_file(self, path: str, txn: Transaction | None = None,
+                  as_of: float | None = None) -> bytes:
+        """Whole-file read convenience."""
+        with self.open(path, txn, "r", as_of=as_of) as handle:
+            return handle.read()
+
+    def write_file(self, txn: Transaction, path: str, data: bytes) -> None:
+        """Create-or-replace convenience: afterwards the file contains
+        exactly *data* (existing files are truncated first)."""
+        snapshot = self._snapshot(txn, None)
+        if self._resolve(path, snapshot) is None:
+            handle = self.create(txn, path)
+        else:
+            handle = self.open(path, txn, "rw")
+            handle.truncate(0)
+        with handle:
+            handle.write(data)
+
+    # -- metadata -----------------------------------------------------------------------------
+
+    def exists(self, path: str, txn: Transaction | None = None,
+               as_of: float | None = None) -> bool:
+        if not split_path(path):
+            return True
+        return self._resolve(path, self._snapshot(txn, as_of)) is not None
+
+    def is_dir(self, path: str, txn: Transaction | None = None,
+               as_of: float | None = None) -> bool:
+        if not split_path(path):
+            return True
+        entry = self._resolve(path, self._snapshot(txn, as_of))
+        return entry is not None and entry.is_dir
+
+    def listdir(self, path: str = "/", txn: Transaction | None = None,
+                as_of: float | None = None) -> list[str]:
+        """Names in a directory, sorted."""
+        snapshot = self._snapshot(txn, as_of)
+        if split_path(path):
+            entry = self._require(path, snapshot)
+            if not entry.is_dir:
+                raise NotADirectory(f"{path!r} is not a directory")
+            parent_id = entry.file_id
+        else:
+            parent_id = ROOT_ID
+        return sorted(e.name for e in self._children(parent_id, snapshot))
+
+    def stat(self, path: str, txn: Transaction | None = None,
+             as_of: float | None = None) -> dict:
+        """owner/mode/times/size/kind for *path*."""
+        snapshot = self._snapshot(txn, as_of)
+        entry = self._require(path, snapshot)
+        rows = self._rows_by_index("inv_stat_fid", entry.file_id, snapshot)
+        if not rows:
+            raise InversionError(f"{path!r} has no FILESTAT record")
+        _fid, owner, mode, atime, mtime, ctime = rows[0].values
+        size = 0
+        if not entry.is_dir:
+            with self.open(path, txn, "r", as_of=as_of) as handle:
+                size = handle.size()
+        return {"file_id": entry.file_id, "kind": entry.kind,
+                "owner": owner, "mode": mode, "atime": atime,
+                "mtime": mtime, "ctime": ctime, "size": size}
+
+    def _touch_mtime(self, txn: Transaction, file_id: int) -> None:
+        snapshot = self._snapshot(txn, None)
+        rows = self._rows_by_index("inv_stat_fid", file_id, snapshot)
+        if rows:
+            values = list(rows[0].values)
+            values[4] = self.db.clock.now()  # mtime
+            self.db.replace(txn, FILESTAT, rows[0].tid, tuple(values))
+
+    # -- removal / rename ---------------------------------------------------------------------------
+
+    def unlink(self, txn: Transaction, path: str) -> None:
+        """Remove a file (its historical versions stay time-travellable
+        through the old DIRECTORY tuple versions)."""
+        snapshot = self._snapshot(txn, None)
+        entry = self._require(path, snapshot)
+        if entry.is_dir:
+            raise InversionError(f"{path!r} is a directory; use rmdir")
+        self.db.delete(txn, DIRECTORY, entry.tid)
+        for row in self._rows_by_index("inv_storage_fid", entry.file_id,
+                                       snapshot):
+            self.db.delete(txn, STORAGE, row.tid)
+        for row in self._rows_by_index("inv_stat_fid", entry.file_id,
+                                       snapshot):
+            self.db.delete(txn, FILESTAT, row.tid)
+
+    def rmdir(self, txn: Transaction, path: str) -> None:
+        """Remove an empty directory."""
+        snapshot = self._snapshot(txn, None)
+        entry = self._require(path, snapshot)
+        if not entry.is_dir:
+            raise NotADirectory(f"{path!r} is not a directory")
+        if self._children(entry.file_id, snapshot):
+            raise DirectoryNotEmpty(f"{path!r} is not empty")
+        self.db.delete(txn, DIRECTORY, entry.tid)
+        for row in self._rows_by_index("inv_stat_fid", entry.file_id,
+                                       snapshot):
+            self.db.delete(txn, FILESTAT, row.tid)
+
+    def rename(self, txn: Transaction, src: str, dst: str) -> None:
+        """Move/rename a file or directory (one atomic tuple replace)."""
+        snapshot = self._snapshot(txn, None)
+        entry = self._require(src, snapshot)
+        new_parent, new_name = self._parent_of(dst, snapshot)
+        if self._child(new_parent, new_name, snapshot) is not None:
+            raise FileExists(f"Inversion path {dst!r} already exists")
+        self.db.replace(txn, DIRECTORY, entry.tid,
+                        (new_name, entry.file_id, new_parent, entry.kind))
+
+    # -- traversal ---------------------------------------------------------------------------------------
+
+    def import_tree(self, txn: Transaction, os_path: str,
+                    inv_path: str = "/") -> int:
+        """Copy a real directory tree into Inversion; returns files copied.
+
+        The inverse of exporting: the whole import is one transaction, so
+        a failure imports nothing.
+        """
+        import os
+        copied = 0
+        base = os.path.abspath(os_path)
+        for dirpath, dirnames, filenames in os.walk(base):
+            relative = os.path.relpath(dirpath, base)
+            if relative == ".":
+                target_dir = inv_path.rstrip("/") or ""
+            else:
+                target_dir = (inv_path.rstrip("/") + "/"
+                              + relative.replace(os.sep, "/"))
+                if not self.exists(target_dir or "/", txn):
+                    self.mkdir(txn, target_dir)
+            dirnames.sort()
+            for filename in sorted(filenames):
+                with open(os.path.join(dirpath, filename), "rb") as fh:
+                    data = fh.read()
+                self.write_file(txn, f"{target_dir}/{filename}", data)
+                copied += 1
+        return copied
+
+    def export_tree(self, inv_path: str, os_path: str,
+                    txn: Transaction | None = None,
+                    as_of: float | None = None) -> int:
+        """Copy an Inversion tree out to a real directory; returns files.
+
+        With ``as_of``, exports the tree *as it was* — a point-in-time
+        backup straight out of the no-overwrite storage system.
+        """
+        import os
+        os.makedirs(os_path, exist_ok=True)
+        exported = 0
+        for current, dirs, files in self.walk(inv_path, txn, as_of=as_of):
+            relative = current[len(inv_path.rstrip("/")):].lstrip("/")
+            target_dir = os.path.join(os_path, relative) if relative \
+                else os_path
+            os.makedirs(target_dir, exist_ok=True)
+            for name in files:
+                data = self.read_file(f"{current.rstrip('/')}/{name}",
+                                      txn, as_of=as_of)
+                with open(os.path.join(target_dir, name), "wb") as fh:
+                    fh.write(data)
+                exported += 1
+        return exported
+
+    def walk(self, path: str = "/", txn: Transaction | None = None,
+             as_of: float | None = None
+             ) -> Iterator[tuple[str, list[str], list[str]]]:
+        """Like :func:`os.walk` over the Inversion tree."""
+        snapshot = self._snapshot(txn, as_of)
+        if split_path(path):
+            start = self._require(path, snapshot)
+            if not start.is_dir:
+                raise NotADirectory(f"{path!r} is not a directory")
+            stack = [(path.rstrip("/") or "/", start.file_id)]
+        else:
+            stack = [("/", ROOT_ID)]
+        while stack:
+            current_path, file_id = stack.pop()
+            children = self._children(file_id, snapshot)
+            dirs = sorted(c.name for c in children if c.is_dir)
+            files = sorted(c.name for c in children if not c.is_dir)
+            yield current_path, dirs, files
+            base = current_path.rstrip("/")
+            for child in children:
+                if child.is_dir:
+                    stack.append((f"{base}/{child.name}", child.file_id))

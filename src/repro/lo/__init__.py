@@ -1,0 +1,38 @@
+"""The four large-object implementations (§6 of the paper).
+
+========== ====================================================== ==========
+storage    what it is                                             services
+========== ====================================================== ==========
+u-file     a user-owned native file, its path stored in a tuple   none
+p-file     a DBMS-owned native file (``newfilename()``)           single-
+                                                                  writer
+f-chunk    fixed 8 KB chunks as records in a POSTGRES class,      security,
+           B-tree on the sequence number                          txns, time
+                                                                  travel,
+                                                                  per-chunk
+                                                                  compression
+v-segment  variable-length compressed segments + a segment index  all of the
+           over an f-chunk byte store                             above, with
+                                                                  segment-
+                                                                  granular
+                                                                  compression
+========== ====================================================== ==========
+
+All four expose the same **file-oriented interface** (§4): open / seek /
+read / write / close, so "a function can be written and debugged using
+files, and then moved into the database where it can manage large objects
+without being rewritten."
+"""
+
+from repro.lo.interface import SEEK_CUR, SEEK_END, SEEK_SET, LargeObject
+from repro.lo.manager import LargeObjectManager
+from repro.lo.temporary import TemporaryObjects
+
+__all__ = [
+    "LargeObject",
+    "LargeObjectManager",
+    "TemporaryObjects",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+]

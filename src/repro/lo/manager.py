@@ -1,0 +1,323 @@
+"""The large-object manager: create / open / unlink across all four
+implementations.
+
+Designators
+-----------
+A large object is named in tuples by a **designator** string:
+
+* ``"lo:<oid>"`` — a chunked object (f-chunk or v-segment); the oid
+  resolves through the catalog to the implementation and its relations;
+* ``"pg_pfiles/<n>"`` — a DBMS-owned p-file, allocated by
+  :meth:`LargeObjectManager.newfilename` (the paper's function of the
+  same name);
+* anything else — a u-file path owned by the user.
+
+This is exactly the paper's usage: *"the name of a user file is used as a
+large object designator and stored in the appropriate field in the data
+base"* (§6.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.access.tuples import TID
+from repro.compress.base import get_compressor
+from repro.db import PG_LARGEOBJECT
+from repro.errors import LargeObjectError, LargeObjectNotFound
+from repro.lo.fchunk import FChunkObject, chunk_class_name, chunk_index_name
+from repro.lo.interface import LargeObject
+from repro.lo.nativefs import NativeFileSystem
+from repro.lo.pfile import PFILE_PREFIX, PostgresFileObject, is_pfile
+from repro.lo.ufile import UserFileObject
+from repro.lo.vsegment import (
+    VSegmentObject,
+    segment_class_name,
+    segment_index_name,
+)
+from repro.txn.manager import Transaction
+
+if TYPE_CHECKING:
+    import os
+
+    from repro.db import Database
+
+
+def is_chunked(designator: str) -> bool:
+    """Whether a designator names an f-chunk/v-segment object."""
+    return designator.startswith("lo:")
+
+
+def designator_oid(designator: str) -> int:
+    """The oid inside a chunked designator."""
+    try:
+        return int(designator[3:])
+    except ValueError as exc:
+        raise LargeObjectError(
+            f"malformed large-object designator {designator!r}") from exc
+
+
+class LargeObjectManager:
+    """Creates, opens, and destroys large objects of every kind."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        root = None
+        if db.path is not None:
+            import os
+            root = os.path.join(db.path, "files")
+        self.nativefs = NativeFileSystem(db.clock, root=root)
+        self._pfile_writers: set[str] = set()
+
+    # -- creation --------------------------------------------------------------------
+
+    def create(self, txn: Transaction, impl: str = "fchunk",
+               smgr: str | None = None, compression: str = "none",
+               path: str | None = None) -> str:
+        """Create a new large object; returns its designator.
+
+        ``impl`` is one of ``ufile``/``pfile``/``fchunk``/``vsegment``
+        (the paper's §6 implementations, hyphenated spellings accepted).
+        ``path`` is required for ``ufile`` and rejected otherwise.
+        """
+        from repro.adt.types import normalize_storage
+        impl = normalize_storage(impl)
+        if impl == "ufile":
+            if path is None:
+                raise LargeObjectError("a u-file object needs a path")
+            return self.create_ufile(path)
+        if path is not None:
+            raise LargeObjectError(
+                f"{impl} objects are named by the system, not by path")
+        if impl == "pfile":
+            return self.newfilename(txn)
+        if impl == "fchunk":
+            return self._create_fchunk(txn, smgr, compression)
+        return self._create_vsegment(txn, smgr, compression)
+
+    def create_for_type(self, txn: Transaction, type_name: str,
+                        path: str | None = None) -> str:
+        """Create an object per a large ADT's storage clause."""
+        definition = self.db.types.get(type_name)
+        if not definition.is_large:
+            raise LargeObjectError(f"type {type_name!r} is not a large ADT")
+        return self.create(txn, impl=definition.storage,
+                           compression=definition.compression, path=path)
+
+    def create_ufile(self, path: str) -> str:
+        """Register a user file as a large object (creates it if absent)."""
+        if is_pfile(path) or is_chunked(path):
+            raise LargeObjectError(
+                f"{path!r} collides with a system designator namespace")
+        self.nativefs.create(path)
+        return path
+
+    def newfilename(self, txn: Transaction | None = None) -> str:
+        """Allocate a DBMS-owned file (§6.2's ``newfilename`` function).
+
+        If called inside a transaction, the allocation (though not any
+        bytes later written — p-files are not transactional) is undone on
+        abort.
+        """
+        name = f"{PFILE_PREFIX}{self.db.catalog.allocate_oid()}"
+        self.nativefs.create(name)
+        if txn is not None:
+            txn.on_abort.append(lambda: self.nativefs.unlink(name))
+        return name
+
+    def _register_chunked(self, txn: Transaction, oid: int, impl: str,
+                          smgr_name: str, compression: str,
+                          detail: dict | None = None) -> None:
+        self.db.catalog.add_large_object(oid, impl, smgr_name, compression,
+                                         detail=detail)
+        self.db.insert(txn, PG_LARGEOBJECT, (oid, 0))
+        txn.on_abort.append(lambda: self._undo_create(oid))
+
+    def _undo_create(self, oid: int) -> None:
+        """Abort hook: remove the relations a failed create left behind."""
+        entry = self.db.catalog.large_objects.get(oid)
+        if entry is None:
+            return
+        if entry.impl == "vsegment":
+            self._drop_relations(oid, segment_class_name,
+                                 segment_index_name)
+            store_oid = (entry.detail or {}).get("store_oid")
+            if store_oid is not None:
+                self._undo_create(store_oid)
+        else:
+            self._drop_relations(oid, chunk_class_name, chunk_index_name)
+        self.db.catalog.drop_large_object(oid)
+
+    def _drop_relations(self, oid: int, class_name_fn, index_name_fn):
+        name = class_name_fn(oid)
+        if self.db.class_exists(name):
+            self.db.drop_class(name)
+
+    def _create_fchunk(self, txn: Transaction, smgr: str | None,
+                       compression: str) -> str:
+        txn.require_active()
+        get_compressor(compression)  # validate the name early
+        smgr_name = smgr or self.db.default_smgr_name
+        oid = self.db.catalog.allocate_oid()
+        name = chunk_class_name(oid)
+        self.db.create_class(name, [("seqno", "int4"), ("data", "bytea")],
+                             smgr=smgr_name)
+        self.db.create_index(chunk_index_name(oid), name, "seqno")
+        self._register_chunked(txn, oid, "fchunk", smgr_name, compression)
+        return f"lo:{oid}"
+
+    def _create_vsegment(self, txn: Transaction, smgr: str | None,
+                         compression: str) -> str:
+        txn.require_active()
+        get_compressor(compression)
+        smgr_name = smgr or self.db.default_smgr_name
+        # The byte store is a plain (uncompressed) f-chunk object.
+        store_designator = self._create_fchunk(txn, smgr_name, "none")
+        store_oid = designator_oid(store_designator)
+        oid = self.db.catalog.allocate_oid()
+        name = segment_class_name(oid)
+        self.db.create_class(
+            name,
+            [("locn", "int8"), ("length", "int4"),
+             ("compressed_len", "int4"), ("byte_pointer", "int8")],
+            smgr=smgr_name)
+        self.db.create_index(segment_index_name(oid), name, "locn")
+        self._register_chunked(txn, oid, "vsegment", smgr_name, compression,
+                               detail={"store_oid": store_oid})
+        return f"lo:{oid}"
+
+    # -- open -------------------------------------------------------------------------------
+
+    def open(self, designator: str, txn: Transaction | None = None,
+             mode: str = "r", as_of: float | None = None) -> LargeObject:
+        """Open a large object with file semantics.
+
+        ``mode`` is ``"r"`` or ``"rw"``.  ``as_of`` opens a historical
+        snapshot — supported only by the chunked implementations, which is
+        precisely the paper's point about time travel (§6.1 lists its
+        absence as a u-file drawback).
+        """
+        if mode not in ("r", "rw", "w"):
+            raise LargeObjectError(f"bad open mode {mode!r}")
+        writable = "w" in mode
+        if is_chunked(designator):
+            return self._open_chunked(designator_oid(designator), txn,
+                                      writable, as_of)
+        if as_of is not None:
+            raise LargeObjectError(
+                f"{designator!r} is a native file: file-based large "
+                f"objects do not support time travel")
+        if not self.nativefs.exists(designator):
+            raise LargeObjectNotFound(
+                f"no native file {designator!r}")
+        if is_pfile(designator):
+            return PostgresFileObject(self.nativefs, designator, writable,
+                                      self._pfile_writers)
+        return UserFileObject(self.nativefs, designator, writable)
+
+    def _open_chunked(self, oid: int, txn: Transaction | None,
+                      writable: bool, as_of: float | None) -> LargeObject:
+        entry = self.db.catalog.get_large_object(oid)
+        compressor = get_compressor(entry.compression)
+        if entry.impl == "fchunk":
+            return FChunkObject(self.db, oid, compressor, txn, writable,
+                                as_of=as_of)
+        store_oid = (entry.detail or {}).get("store_oid")
+        if store_oid is None:
+            raise LargeObjectError(
+                f"v-segment object {oid} has no byte store recorded")
+        store = self._open_chunked(store_oid, txn, writable, as_of)
+        return VSegmentObject(self.db, oid, compressor, store, txn,
+                              writable, as_of=as_of)
+
+    # -- unlink -------------------------------------------------------------------------------
+
+    def unlink(self, txn: Transaction | None, designator: str) -> None:
+        """Destroy a large object.
+
+        Chunked objects need a transaction (their size record is deleted
+        transactionally); the relation drop itself is DDL and, as in
+        POSTGRES V4, not undone by a later abort.
+        """
+        if not is_chunked(designator):
+            self.nativefs.unlink(designator)
+            return
+        if txn is None:
+            raise LargeObjectError(
+                f"unlinking {designator!r} requires a transaction")
+        self._unlink_chunked(txn, designator_oid(designator))
+
+    def _unlink_chunked(self, txn: Transaction, oid: int) -> None:
+        entry = self.db.catalog.get_large_object(oid)
+        # Delete the size row (transactional part).
+        snapshot = self.db.snapshot(txn)
+        index = self.db.get_index("pg_largeobject_loid")
+        relation = self.db.get_class(PG_LARGEOBJECT)
+        for blockno, slot in index.search((oid,)):
+            row = relation.fetch(TID(blockno, slot), snapshot)
+            if row is not None:
+                self.db.delete(txn, PG_LARGEOBJECT, row.tid)
+        # Drop the relations (DDL).
+        if entry.impl == "vsegment":
+            self._drop_relations(oid, segment_class_name, segment_index_name)
+            store_oid = (entry.detail or {}).get("store_oid")
+            if store_oid is not None:
+                self._unlink_chunked(txn, store_oid)
+        else:
+            self._drop_relations(oid, chunk_class_name, chunk_index_name)
+        self.db.catalog.drop_large_object(oid)
+
+    # -- introspection ----------------------------------------------------------------------------
+
+    def exists(self, designator: str) -> bool:
+        """Whether the designator names a live object."""
+        if is_chunked(designator):
+            return designator_oid(designator) in self.db.catalog.large_objects
+        return self.nativefs.exists(designator)
+
+    def implementation(self, designator: str) -> str:
+        """Which §6 implementation stores this object."""
+        if is_chunked(designator):
+            return self.db.catalog.get_large_object(
+                designator_oid(designator)).impl
+        return "pfile" if is_pfile(designator) else "ufile"
+
+    def stat(self, designator: str,
+             txn: Transaction | None = None) -> dict:
+        """Implementation, storage manager, compression, and size."""
+        impl = self.implementation(designator)
+        info = {"designator": designator, "impl": impl}
+        if is_chunked(designator):
+            entry = self.db.catalog.get_large_object(
+                designator_oid(designator))
+            info["smgr"] = entry.smgr_name
+            info["compression"] = entry.compression
+        else:
+            info["smgr"] = "native"
+            info["compression"] = "none"
+        with self.open(designator, txn) as obj:
+            info["size"] = obj.size()
+        return info
+
+    def storage_breakdown(self, designator: str) -> dict[str, int]:
+        """Device bytes per component, as reported in Figure 1."""
+        if not is_chunked(designator):
+            return {"data": self.nativefs.size(designator)}
+        oid = designator_oid(designator)
+        entry = self.db.catalog.get_large_object(oid)
+        if entry.impl == "fchunk":
+            return {
+                "data": self.db.get_class(chunk_class_name(oid)).byte_size(),
+                "btree": self.db.get_index(chunk_index_name(oid)).byte_size(),
+            }
+        store_oid = entry.detail["store_oid"]
+        return {
+            "data": self.db.get_class(
+                chunk_class_name(store_oid)).byte_size(),
+            "segment_map": self.db.get_class(
+                segment_class_name(oid)).byte_size(),
+            "btree": self.db.get_index(
+                segment_index_name(oid)).byte_size(),
+            "store_btree": self.db.get_index(
+                chunk_index_name(store_oid)).byte_size(),
+        }

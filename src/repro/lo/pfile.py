@@ -1,0 +1,64 @@
+"""Implementation 2: POSTGRES file as an ADT (§6.2).
+
+    retrieve (result = newfilename())
+    append EMP (name = "Joe", picture = result)
+
+Identical to u-file except that the DBMS allocates and owns the file, so
+the underlying native file "is updatable by a single user" — the manager
+enforces the DBMS-owned namespace and grants one writer at a time.
+Still non-transactional: writes are immediate, like u-file.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LargeObjectError
+from repro.lo.interface import LargeObject
+from repro.lo.nativefs import NativeFileSystem
+
+#: Namespace prefix for DBMS-owned files.
+PFILE_PREFIX = "pg_pfiles/"
+
+
+def is_pfile(designator: str) -> bool:
+    """Whether a designator names a DBMS-owned (p-file) object."""
+    return designator.startswith(PFILE_PREFIX)
+
+
+class PostgresFileObject(LargeObject):
+    """A large object in a DBMS-owned native file."""
+
+    impl = "pfile"
+
+    def __init__(self, fs: NativeFileSystem, path: str, writable: bool,
+                 writers: set[str], create: bool = False):
+        if not is_pfile(path):
+            raise LargeObjectError(
+                f"{path!r} is not in the DBMS-owned namespace "
+                f"{PFILE_PREFIX!r}")
+        super().__init__(path, writable)
+        self.fs = fs
+        self._writers = writers
+        if create:
+            fs.create(path)
+        if writable:
+            if path in writers:
+                raise LargeObjectError(
+                    f"p-file {path!r} already has a writer "
+                    f"(single-writer rule)")
+            writers.add(path)
+
+    def _read_at(self, offset: int, nbytes: int) -> bytes:
+        return self.fs.read_at(self.designator, offset, nbytes)
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        self.fs.write_at(self.designator, offset, data)
+
+    def _size(self) -> int:
+        return self.fs.size(self.designator)
+
+    def _close(self) -> None:
+        if self.writable:
+            self._writers.discard(self.designator)
+
+    def _truncate(self, size: int) -> None:
+        self.fs.truncate_at(self.designator, size)

@@ -1,0 +1,61 @@
+"""Temporary large objects and their garbage collection (§5).
+
+    "a function returning a large object must create a new large object
+    and then fill in the bytes using a collection of write operations …
+    Temporary large objects must be garbage-collected in the same way as
+    temporary classes after the query has completed."
+
+The query executor opens a :class:`TemporaryObjects` scope per query;
+functions that return large values create their results through it.  When
+the query finishes, every temporary that was not *kept* (stored into a
+class, or explicitly claimed by the caller) is unlinked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.db import Database
+    from repro.txn.manager import Transaction
+
+
+class TemporaryObjects:
+    """Tracks large objects created during one query."""
+
+    def __init__(self, db: "Database", txn: "Transaction"):
+        self.db = db
+        self.txn = txn
+        self._pending: set[str] = set()
+        self._kept: set[str] = set()
+
+    def register(self, designator: str) -> str:
+        """Mark *designator* as a temporary awaiting collection."""
+        self._pending.add(designator)
+        return designator
+
+    def keep(self, designator: str) -> None:
+        """Exempt *designator* from collection (its value was stored)."""
+        if designator in self._pending:
+            self._kept.add(designator)
+
+    def pending(self) -> set[str]:
+        """Designators currently slated for collection."""
+        return self._pending - self._kept
+
+    def collect(self) -> int:
+        """Unlink every unkept temporary; returns how many were removed."""
+        doomed = self.pending()
+        for designator in doomed:
+            self.db.lo.unlink(self.txn, designator)
+        removed = len(doomed)
+        self._pending.clear()
+        self._kept.clear()
+        return removed
+
+    def __enter__(self) -> "TemporaryObjects":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.txn.is_active:
+            self.collect()

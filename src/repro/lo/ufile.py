@@ -1,0 +1,42 @@
+"""Implementation 1: user file as an ADT (§6.1).
+
+    append EMP (name = "Joe", picture = "/usr/joe")
+
+The designator stored in the tuple is just a path the *user* owns.  The
+implementation "has the advantage of being simple, and gives the user
+complete control over object placement" — and the documented drawbacks:
+no access control (both user and DBMS must reach the file), **no
+transaction semantics** (writes are immediate and survive an abort), and
+no version management.  The tests verify the drawbacks as behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.lo.interface import LargeObject
+from repro.lo.nativefs import NativeFileSystem
+
+
+class UserFileObject(LargeObject):
+    """A large object that is simply a user-owned native file."""
+
+    impl = "ufile"
+
+    def __init__(self, fs: NativeFileSystem, path: str, writable: bool,
+                 create: bool = False):
+        super().__init__(path, writable)
+        self.fs = fs
+        if create:
+            fs.create(path)
+
+    def _read_at(self, offset: int, nbytes: int) -> bytes:
+        return self.fs.read_at(self.designator, offset, nbytes)
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        # Immediate, non-transactional: this is the documented drawback.
+        self.fs.write_at(self.designator, offset, data)
+
+    def _size(self) -> int:
+        return self.fs.size(self.designator)
+
+    def _truncate(self, size: int) -> None:
+        self.fs.truncate_at(self.designator, size)

@@ -1,0 +1,22 @@
+"""A mini-POSTQUEL query language.
+
+Covers the statements the paper's examples use:
+
+* ``create EMP (name = text, picture = image)`` (with an optional
+  ``with storage manager "worm"`` clause, §7),
+* ``create large type image (storage = f-chunk, compression = "zlib")``
+  (§4's extended ADT syntax),
+* ``append EMP (name = "Joe", picture = "/usr/joe")`` (§6.1),
+* ``retrieve (EMP.picture) where EMP.name = "Joe"`` (§4),
+* ``retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where ...`` (§5,
+  including temporary-object garbage collection),
+* ``replace`` / ``delete`` with qualifications,
+* time travel: ``retrieve (EMP.name) from EMP["<timestamp>"]``.
+
+Single-class queries only (every example in the paper is single-class);
+joins are out of scope.
+"""
+
+from repro.ql.executor import Executor, QueryResult
+
+__all__ = ["Executor", "QueryResult"]

@@ -1,0 +1,150 @@
+"""Abstract syntax for mini-POSTQUEL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# -- expressions ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, int, or float."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """``EMP.name`` — attribute of the query's class."""
+
+    class_name: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """``clip(EMP.picture, r)`` — a registered ADT function."""
+
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Comparison, boolean, or arithmetic operator application."""
+
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """``not x`` or ``-x``."""
+
+    op: str
+    operand: Any
+
+
+@dataclass(frozen=True)
+class Cast:
+    """``expr::type`` — run the target type's input conversion."""
+
+    operand: Any
+    type_name: str
+
+
+# -- statements ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Target:
+    """One target-list entry, optionally named (``result = expr``)."""
+
+    expr: Any
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class ClassRef:
+    """A class in a from-clause, optionally with a time-travel suffix.
+
+    ``EMP["123.5"]`` reads the class as of simulated time 123.5;
+    ``EMP["t1", "t2"]`` reads every version alive at any point in the
+    interval (POSTQUEL time-range semantics).
+    """
+
+    name: str
+    as_of: float | None = None
+    until: float | None = None
+
+
+@dataclass(frozen=True)
+class Retrieve:
+    targets: tuple[Target, ...]
+    from_class: ClassRef | None
+    qualification: Any | None
+    #: ``retrieve into NEWCLASS (...)`` materializes the result.
+    into: str | None = None
+    #: ``sort by <expr> [, <expr> ...]``; each entry (expr, descending).
+    sort_by: tuple = ()
+
+
+@dataclass(frozen=True)
+class Append:
+    class_name: str
+    assignments: tuple[tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class Replace:
+    class_name: str
+    assignments: tuple[tuple[str, Any], ...]
+    qualification: Any | None
+
+
+@dataclass(frozen=True)
+class Delete:
+    class_name: str
+    qualification: Any | None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateClass:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    storage_manager: str | None = None
+
+
+@dataclass(frozen=True)
+class CreateLargeType:
+    """§4: create large type T (input=…, output=…, storage=…)."""
+
+    name: str
+    storage: str = "fchunk"
+    compression: str = "none"
+    input_name: str | None = None
+    output_name: str | None = None
+
+
+@dataclass(frozen=True)
+class DestroyClass:
+    name: str
+
+
+@dataclass(frozen=True)
+class DefineIndex:
+    """``define index NAME on CLASS (attribute)``."""
+
+    name: str
+    class_name: str
+    attribute: str

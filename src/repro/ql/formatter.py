@@ -1,0 +1,61 @@
+"""psql-style rendering of query results.
+
+>>> print(format_result(db.execute('retrieve (EMP.name, EMP.age)')))
+ name | age
+------+-----
+ Joe  |  30
+ Sam  |  50
+(2 rows)
+"""
+
+from __future__ import annotations
+
+from repro.ql.executor import QueryResult
+
+
+def _render_value(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "t" if value else "f"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, bytes):
+        return "\\x" + value.hex()
+    return str(value)
+
+
+def format_result(result: QueryResult, max_width: int = 60) -> str:
+    """A monospace table of *result*, numeric columns right-aligned."""
+    if not result.columns:
+        return f"({result.count} affected)"
+    rendered = [[_render_value(v)[:max_width] for v in row]
+                for row in result.rows]
+    numeric = [
+        all(isinstance(row[i], (int, float)) and not isinstance(row[i], bool)
+            for row in result.rows if row[i] is not None)
+        for i in range(len(result.columns))
+    ]
+    widths = [
+        max(len(result.columns[i]),
+            *(len(r[i]) for r in rendered)) if rendered
+        else len(result.columns[i])
+        for i in range(len(result.columns))
+    ]
+
+    def fmt_cell(text: str, i: int) -> str:
+        return (text.rjust(widths[i]) if numeric[i]
+                else text.ljust(widths[i]))
+
+    header = " " + " | ".join(
+        result.columns[i].ljust(widths[i])
+        for i in range(len(result.columns)))
+    separator = "-" + "-+-".join("-" * w for w in widths) + "-"
+    lines = [header.rstrip(), separator]
+    for row in rendered:
+        line = " " + " | ".join(fmt_cell(row[i], i)
+                                for i in range(len(row)))
+        lines.append(line.rstrip())
+    plural = "row" if len(result.rows) == 1 else "rows"
+    lines.append(f"({len(result.rows)} {plural})")
+    return "\n".join(lines)

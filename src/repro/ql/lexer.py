@@ -1,0 +1,121 @@
+"""Tokenizer for mini-POSTQUEL.
+
+Keywords are case-insensitive; identifiers keep their case (class names in
+the paper are uppercase: ``EMP``).  Strings are double-quoted with ``\\``
+escapes, per the paper's examples (``"Joe"``, ``"0,0,20,20"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset({
+    "create", "large", "type", "append", "retrieve", "replace", "delete",
+    "destroy", "where", "from", "with", "storage", "manager", "and", "or",
+    "not", "input", "output", "compression", "into", "define", "index",
+    "on", "sort", "by",
+})
+
+#: Multi-character operators, longest first.
+_OPERATORS = ("::", "!=", "<=", ">=", "<", ">", "=", "+", "-", "*", "/",
+              "(", ")", "[", "]", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'name' | 'keyword' | 'string' | 'int' | 'float' | 'op' | 'eof'
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.value == op
+
+
+def tokenize(text: str) -> list[Token]:
+    """Token stream for *text*, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return pos - line_start
+
+    while pos < n:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == '"':
+            start_line, start_col = line, column()
+            pos += 1
+            out = []
+            while pos < n and text[pos] != '"':
+                if text[pos] == "\\" and pos + 1 < n:
+                    pos += 1
+                out.append(text[pos])
+                pos += 1
+            if pos >= n:
+                raise ParseError("unterminated string literal",
+                                 start_line, start_col)
+            pos += 1
+            tokens.append(Token("string", "".join(out),
+                                start_line, start_col))
+            continue
+        if ch.isdigit():
+            start_col = column()
+            start = pos
+            while pos < n and text[pos].isdigit():
+                pos += 1
+            is_float = False
+            if pos < n and text[pos] == "." and pos + 1 < n \
+                    and text[pos + 1].isdigit():
+                is_float = True
+                pos += 1
+                while pos < n and text[pos].isdigit():
+                    pos += 1
+            if pos < n and text[pos] in "eE":
+                probe = pos + 1
+                if probe < n and text[probe] in "+-":
+                    probe += 1
+                if probe < n and text[probe].isdigit():
+                    is_float = True
+                    pos = probe
+                    while pos < n and text[pos].isdigit():
+                        pos += 1
+            kind = "float" if is_float else "int"
+            tokens.append(Token(kind, text[start:pos], line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_col = column()
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            if word.lower() in KEYWORDS:
+                tokens.append(Token("keyword", word.lower(),
+                                    line, start_col))
+            else:
+                tokens.append(Token("name", word, line, start_col))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token("op", op, line, column()))
+                pos += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, column())
+    tokens.append(Token("eof", "", line, column()))
+    return tokens

@@ -1,0 +1,394 @@
+"""Recursive-descent parser for mini-POSTQUEL."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.ql import ast
+from repro.ql.lexer import Token, tokenize
+
+
+class Parser:
+    """Parses one statement."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _fail(self, message: str) -> ParseError:
+        token = self.current
+        got = token.value or "<end of input>"
+        return ParseError(f"{message}, got {got!r}", token.line,
+                          token.column)
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise self._fail(f"expected {op!r}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._fail(f"expected {word!r}")
+        return self.advance()
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            raise self._fail("expected a name")
+        return self.advance().value
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- entry point -----------------------------------------------------------------
+
+    def parse_statement(self):
+        statement = self._statement()
+        self.accept_op(";")
+        if self.current.kind != "eof":
+            raise self._fail("trailing input after statement")
+        return statement
+
+    def parse_script(self) -> list:
+        """Parse `;`-separated statements."""
+        statements = []
+        while self.current.kind != "eof":
+            statements.append(self._statement())
+            if not self.accept_op(";") and self.current.kind != "eof":
+                raise self._fail("expected ';' between statements")
+        return statements
+
+    def _statement(self):
+        token = self.current
+        if token.kind != "keyword":
+            raise self._fail("expected a statement keyword")
+        handler = {
+            "create": self._create,
+            "append": self._append,
+            "retrieve": self._retrieve,
+            "replace": self._replace,
+            "delete": self._delete,
+            "destroy": self._destroy,
+            "define": self._define,
+        }.get(token.value)
+        if handler is None:
+            raise self._fail(f"cannot start a statement with {token.value!r}")
+        self.advance()
+        return handler()
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _create(self):
+        if self.current.is_keyword("large") or self.current.is_keyword("type"):
+            return self._create_large_type()
+        name = self.expect_name()
+        self.expect_op("(")
+        columns = []
+        while True:
+            col = self.expect_name()
+            self.expect_op("=")
+            type_name = self.expect_name()
+            columns.append(ast.ColumnDef(col, type_name))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        smgr = None
+        if self.accept_keyword("with"):
+            self.expect_keyword("storage")
+            self.expect_keyword("manager")
+            if self.current.kind == "string":
+                smgr = self.advance().value
+            else:
+                smgr = self.expect_name()
+        return ast.CreateClass(name, tuple(columns), smgr)
+
+    def _create_large_type(self):
+        large = self.accept_keyword("large")
+        self.expect_keyword("type")
+        if not large:
+            raise self._fail(
+                "only 'create large type' is supported (small ADTs are "
+                "registered through the API)")
+        name = self.expect_name()
+        self.expect_op("(")
+        storage = "fchunk"
+        compression = "none"
+        input_name = output_name = None
+        while True:
+            token = self.current
+            if token.is_keyword("input"):
+                self.advance()
+                self.expect_op("=")
+                input_name = self.expect_name()
+            elif token.is_keyword("output"):
+                self.advance()
+                self.expect_op("=")
+                output_name = self.expect_name()
+            elif token.is_keyword("storage"):
+                self.advance()
+                self.expect_op("=")
+                storage = self._name_or_string_with_dash()
+            elif token.is_keyword("compression"):
+                self.advance()
+                self.expect_op("=")
+                if self.current.kind == "string":
+                    compression = self.advance().value
+                else:
+                    compression = self._name_or_string_with_dash()
+            else:
+                raise self._fail(
+                    "expected input/output/storage/compression")
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return ast.CreateLargeType(name, storage=storage,
+                                   compression=compression,
+                                   input_name=input_name,
+                                   output_name=output_name)
+
+    def _name_or_string_with_dash(self) -> str:
+        """A value like ``f-chunk``: NAME ('-' NAME)* or a string."""
+        if self.current.kind == "string":
+            return self.advance().value
+        word = self.expect_name()
+        while self.current.is_op("-"):
+            self.advance()
+            word += "-" + self.expect_name()
+        return word
+
+    def _assignments(self) -> tuple:
+        self.expect_op("(")
+        assignments = []
+        while True:
+            name = self.expect_name()
+            self.expect_op("=")
+            assignments.append((name, self._expr()))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return tuple(assignments)
+
+    def _append(self):
+        name = self.expect_name()
+        return ast.Append(name, self._assignments())
+
+    def _qualification(self):
+        if self.accept_keyword("where"):
+            return self._expr()
+        return None
+
+    def _define(self):
+        self.expect_keyword("index")
+        name = self.expect_name()
+        self.expect_keyword("on")
+        class_name = self.expect_name()
+        self.expect_op("(")
+        attribute = self.expect_name()
+        self.expect_op(")")
+        return ast.DefineIndex(name, class_name, attribute)
+
+    def _retrieve(self):
+        into = None
+        if self.accept_keyword("into"):
+            into = self.expect_name()
+        self.expect_op("(")
+        targets = []
+        while True:
+            # Lookahead for `name = expr` result naming.
+            result_name = None
+            if (self.current.kind == "name"
+                    and self.tokens[self.pos + 1].is_op("=")):
+                result_name = self.advance().value
+                self.advance()  # '='
+            targets.append(ast.Target(self._expr(), result_name))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        from_class = None
+        if self.accept_keyword("from"):
+            from_class = self._class_ref()
+        qualification = self._qualification()
+        sort_by = []
+        if self.accept_keyword("sort"):
+            self.expect_keyword("by")
+            while True:
+                # Sort keys parse at additive level so a trailing `<`/`>`
+                # reads as the direction (POSTQUEL wrote `using <`), not
+                # as a comparison.
+                expr = self._additive()
+                descending = False
+                if self.current.is_op("<") or self.current.is_op(">"):
+                    descending = self.advance().value == ">"
+                sort_by.append((expr, descending))
+                if not self.accept_op(","):
+                    break
+        return ast.Retrieve(tuple(targets), from_class, qualification,
+                            into=into, sort_by=tuple(sort_by))
+
+    def _class_ref(self) -> ast.ClassRef:
+        name = self.expect_name()
+        as_of = until = None
+        if self.accept_op("["):
+            stamps = [self._time_value()]
+            while self.accept_op(","):
+                stamps.append(self._time_value())
+            self.expect_op("]")
+            if len(stamps) == 1:
+                as_of = stamps[0]  # None ("now") = a current snapshot
+            elif len(stamps) == 2:
+                lower, upper = stamps
+                if lower is not None or upper is not None:
+                    as_of = lower if lower is not None else 0.0
+                    until = upper if upper is not None else float("inf")
+            else:
+                raise ParseError(
+                    "a time-travel suffix takes one or two stamps",
+                    self.current.line, self.current.column)
+        return ast.ClassRef(name, as_of, until)
+
+    def _time_value(self) -> float | None:
+        token = self.advance()
+        if token.kind in ("int", "float"):
+            return float(token.value)
+        if token.kind == "string":
+            text = token.value.strip().lower()
+            if text == "now":
+                return None
+            if text == "epoch":
+                return 0.0
+            try:
+                return float(text)
+            except ValueError:
+                raise ParseError(
+                    f"bad time-travel stamp {token.value!r}",
+                    token.line, token.column) from None
+        raise ParseError("expected a time-travel stamp",
+                         token.line, token.column)
+
+    def _replace(self):
+        name = self.expect_name()
+        assignments = self._assignments()
+        return ast.Replace(name, assignments, self._qualification())
+
+    def _delete(self):
+        name = self.expect_name()
+        return ast.Delete(name, self._qualification())
+
+    def _destroy(self):
+        return ast.DestroyClass(self.expect_name())
+
+    # -- expressions (precedence climbing) --------------------------------------------------
+
+    def _expr(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept_keyword("or"):
+            left = ast.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept_keyword("and"):
+            left = ast.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept_keyword("not"):
+            return ast.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        for op in ("!=", "<=", ">=", "<", ">", "="):
+            if self.current.is_op(op):
+                self.advance()
+                return ast.BinaryOp(op, left, self._additive())
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while self.current.is_op("+") or self.current.is_op("-"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while self.current.is_op("*") or self.current.is_op("/"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self):
+        if self.current.is_op("-"):
+            self.advance()
+            return ast.UnaryOp("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self):
+        node = self._primary()
+        while self.current.is_op("::"):
+            self.advance()
+            node = ast.Cast(node, self.expect_name())
+        return node
+
+    def _primary(self):
+        token = self.current
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "int":
+            self.advance()
+            return ast.Literal(int(token.value))
+        if token.kind == "float":
+            self.advance()
+            return ast.Literal(float(token.value))
+        if token.is_op("("):
+            self.advance()
+            node = self._expr()
+            self.expect_op(")")
+            return node
+        if token.kind == "name":
+            name = self.advance().value
+            if self.accept_op("."):
+                attribute = self.expect_name()
+                return ast.AttributeRef(name, attribute)
+            if self.accept_op("("):
+                args = []
+                if not self.current.is_op(")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept_op(","):
+                            break
+                self.expect_op(")")
+                return ast.FunctionCall(name, tuple(args))
+            raise self._fail(
+                f"bare name {name!r} is not an expression (use "
+                f"class.attribute or a function call)")
+        raise self._fail("expected an expression")
+
+
+def parse(text: str):
+    """Parse one mini-POSTQUEL statement."""
+    return Parser(text).parse_statement()

@@ -1,0 +1,28 @@
+"""Simulated-time accounting for storage devices and CPU work.
+
+The paper's evaluation (Figures 2 and 3) reports *elapsed seconds* on 1992
+hardware — magnetic disks and a Sony WORM optical jukebox attached to a
+Sequent Symmetry.  That hardware is unavailable, so every storage manager in
+this reproduction charges its I/O to a :class:`~repro.sim.clock.SimClock`
+through a :class:`~repro.sim.devices.DeviceModel`, and compression charges
+instructions-per-byte through a :class:`~repro.sim.devices.CpuModel`.  The
+benchmark harness reads the clock to produce the paper-style tables.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.devices import (
+    CpuModel,
+    DeviceModel,
+    jukebox_device,
+    magnetic_disk_device,
+    nvram_device,
+)
+
+__all__ = [
+    "SimClock",
+    "CpuModel",
+    "DeviceModel",
+    "magnetic_disk_device",
+    "nvram_device",
+    "jukebox_device",
+]

@@ -1,0 +1,32 @@
+"""User-defined storage managers (the paper's §7).
+
+POSTGRES routes every relation file through a *storage manager switch*
+modelled on the UNIX file-system switch: a small table of interface routines
+(create / read / write / extend / nblocks / unlink / sync).  Any user can
+register a new manager, and — because large objects and Inversion files are
+ordinary relations — every new manager automatically supports them (§10).
+
+Three managers ship with this reproduction, matching POSTGRES Version 4:
+
+* ``"disk"``  — local magnetic disk, a thin veneer over OS files;
+* ``"memory"`` — non-volatile main memory;
+* ``"worm"``  — a write-once optical-disk jukebox, fronted by a
+  magnetic-disk block cache (see :mod:`repro.smgr.cache`).
+"""
+
+from repro.smgr.base import StorageManager, StorageManagerSwitch
+from repro.smgr.cache import CachedStorageManager
+from repro.smgr.disk import DiskStorageManager
+from repro.smgr.memory import MemoryStorageManager
+from repro.smgr.raw import RawWormDevice
+from repro.smgr.worm import WormStorageManager
+
+__all__ = [
+    "StorageManager",
+    "StorageManagerSwitch",
+    "DiskStorageManager",
+    "MemoryStorageManager",
+    "WormStorageManager",
+    "CachedStorageManager",
+    "RawWormDevice",
+]

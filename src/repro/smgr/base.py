@@ -1,0 +1,129 @@
+"""Storage-manager abstraction and the table-driven switch.
+
+A storage manager exposes block-oriented access to named relation files.
+Blocks are exactly :data:`~repro.storage.constants.PAGE_SIZE` bytes.  The
+abstraction is deliberately small — the paper calls it "a clean table-driven
+interface … any user can define a new storage manager by writing and
+registering a small set of interface routines."
+
+All managers charge their physical accesses to a shared
+:class:`~repro.sim.clock.SimClock` through a
+:class:`~repro.sim.devices.DevicePort`, so benchmark elapsed times reflect
+each device's cost model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+from repro.errors import StorageManagerError
+from repro.sim.clock import SimClock
+from repro.sim.devices import DeviceModel, DevicePort
+from repro.storage.constants import PAGE_SIZE
+
+
+class StorageManager(ABC):
+    """Block-oriented access to named relation files on one device."""
+
+    #: Short name used in ``create ... with storage manager "<name>"``.
+    name: str = "abstract"
+
+    def __init__(self, model: DeviceModel, clock: SimClock):
+        self.model = model
+        self.clock = clock
+        self.port = DevicePort(model, clock)
+
+    # -- file lifecycle ----------------------------------------------------
+
+    @abstractmethod
+    def create(self, fileid: str) -> None:
+        """Create an empty relation file.  Idempotent."""
+
+    @abstractmethod
+    def exists(self, fileid: str) -> bool:
+        """Whether the relation file exists."""
+
+    @abstractmethod
+    def unlink(self, fileid: str) -> None:
+        """Remove the relation file and its blocks."""
+
+    @abstractmethod
+    def nblocks(self, fileid: str) -> int:
+        """Number of blocks currently in the file."""
+
+    # -- block I/O -----------------------------------------------------------
+
+    @abstractmethod
+    def read_block(self, fileid: str, blockno: int) -> bytearray:
+        """Read block *blockno*; always returns ``PAGE_SIZE`` bytes."""
+
+    @abstractmethod
+    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
+        """Write block *blockno* (must already exist or be the next block)."""
+
+    def extend(self, fileid: str, data: bytes) -> int:
+        """Append a new block and return its block number."""
+        blockno = self.nblocks(fileid)
+        self.write_block(fileid, blockno, data)
+        return blockno
+
+    @abstractmethod
+    def sync(self, fileid: str) -> None:
+        """Force the file's blocks to stable storage."""
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_block(self, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise StorageManagerError(
+                f"block must be {PAGE_SIZE} bytes, got {len(data)}")
+
+    def byte_size(self, fileid: str) -> int:
+        """Total bytes occupied by the relation file."""
+        return self.nblocks(fileid) * PAGE_SIZE
+
+    def stats(self) -> dict[str, int]:
+        """Physical access counters (reads, writes, seeks, ...)."""
+        return self.port.stats()
+
+
+class StorageManagerSwitch:
+    """Registry mapping manager names to live manager instances.
+
+    The switch owns the instances so that every relation routed to, say,
+    ``"worm"`` shares one device (and therefore one head position and one
+    cache), just as in POSTGRES.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], StorageManager]] = {}
+        self._instances: dict[str, StorageManager] = {}
+
+    def register(self, name: str,
+                 factory: Callable[[], StorageManager]) -> None:
+        """Register (or replace) the manager construction routine *name*."""
+        self._factories[name] = factory
+        self._instances.pop(name, None)
+
+    def get(self, name: str) -> StorageManager:
+        """The live manager instance for *name* (constructed on first use)."""
+        if name not in self._instances:
+            if name not in self._factories:
+                raise StorageManagerError(
+                    f"no storage manager registered under {name!r} "
+                    f"(have: {sorted(self._factories)})")
+            self._instances[name] = self._factories[name]()
+        return self._instances[name]
+
+    def names(self) -> list[str]:
+        """Registered manager names, sorted."""
+        return sorted(self._factories)
+
+    def instances(self) -> Iterator[StorageManager]:
+        """All managers constructed so far."""
+        return iter(self._instances.values())
+
+    def items(self) -> Iterator[tuple[str, StorageManager]]:
+        """(registration name, instance) for managers constructed so far."""
+        return iter(self._instances.items())

@@ -1,0 +1,67 @@
+"""Main-memory (NVRAM) storage manager.
+
+The paper's second manager "allows relational data to be stored in
+non-volatile random-access memory."  Blocks are kept in process memory;
+the cost model has no positioning cost and memcpy-speed transfer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageManagerError
+from repro.sim.clock import SimClock
+from repro.sim.devices import DeviceModel, nvram_device
+from repro.smgr.base import StorageManager
+from repro.storage.constants import PAGE_SIZE
+
+
+class MemoryStorageManager(StorageManager):
+    """Relation files as in-memory lists of blocks."""
+
+    name = "memory"
+
+    def __init__(self, clock: SimClock, model: DeviceModel | None = None):
+        super().__init__(model or nvram_device(), clock)
+        self._files: dict[str, list[bytearray]] = {}
+
+    def _blocks(self, fileid: str) -> list[bytearray]:
+        if fileid not in self._files:
+            raise StorageManagerError(
+                f"relation file {fileid!r} does not exist")
+        return self._files[fileid]
+
+    def create(self, fileid: str) -> None:
+        self._files.setdefault(fileid, [])
+
+    def exists(self, fileid: str) -> bool:
+        return fileid in self._files
+
+    def unlink(self, fileid: str) -> None:
+        self._files.pop(fileid, None)
+
+    def nblocks(self, fileid: str) -> int:
+        return len(self._blocks(fileid))
+
+    def read_block(self, fileid: str, blockno: int) -> bytearray:
+        blocks = self._blocks(fileid)
+        if blockno < 0 or blockno >= len(blocks):
+            raise StorageManagerError(
+                f"read past end of {fileid!r}: block {blockno} "
+                f"of {len(blocks)}")
+        self.port.charge_read(fileid, blockno * PAGE_SIZE, PAGE_SIZE)
+        return bytearray(blocks[blockno])
+
+    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
+        self._check_block(data)
+        blocks = self._blocks(fileid)
+        if blockno < 0 or blockno > len(blocks):
+            raise StorageManagerError(
+                f"write would leave a hole in {fileid!r}: block {blockno} "
+                f"of {len(blocks)}")
+        if blockno == len(blocks):
+            blocks.append(bytearray(data))
+        else:
+            blocks[blockno] = bytearray(data)
+        self.port.charge_write(fileid, blockno * PAGE_SIZE, PAGE_SIZE)
+
+    def sync(self, fileid: str) -> None:
+        self._blocks(fileid)  # validate existence; NVRAM is always durable

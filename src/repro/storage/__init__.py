@@ -1,0 +1,14 @@
+"""Page-level storage: slotted 8 KB pages and the buffer manager."""
+
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.constants import CHUNK_PAYLOAD, PAGE_SIZE
+from repro.storage.page import ItemId, SlottedPage
+
+__all__ = [
+    "PAGE_SIZE",
+    "CHUNK_PAYLOAD",
+    "SlottedPage",
+    "ItemId",
+    "BufferManager",
+    "BufferStats",
+]

@@ -1,0 +1,326 @@
+"""Buffer manager: a fixed pool of 8 KB frames with clock-sweep replacement.
+
+Relations never touch storage managers directly; they pin pages here.  The
+pool implements the pieces POSTGRES needed for its no-overwrite storage
+system:
+
+* **pin/unpin with usage counts** and clock-sweep victim selection;
+* **dirty tracking with write-back on eviction**;
+* **force-at-commit**: :meth:`BufferManager.flush_file` writes a relation's
+  dirty pages (in block order, so device writes stay sequential) — the
+  transaction manager calls this at commit instead of keeping a WAL, per
+  the POSTGRES storage-system design;
+* **lazy file extension**: :meth:`allocate` creates a page in the pool
+  without a device write; the device file grows when the page is first
+  flushed.  Holes created by out-of-order eviction are zero-filled so the
+  storage manager never sees a gap.
+* **checksums**: pages are stamped before a device write and verified on
+  read.
+
+The pool charges a small CPU cost per lookup so simulated elapsed times
+include buffer-management overhead (the paper's "special purpose program"
+baseline explicitly has "no overhead for cache management").
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import BufferError_, ChecksumError
+from repro.sim.clock import SimClock
+from repro.sim.devices import CpuModel
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.page import SlottedPage
+
+if TYPE_CHECKING:  # avoid a circular import with repro.smgr.base
+    from repro.smgr.base import StorageManager
+
+#: CPU instructions charged for a pool hit / miss (lookup + header checks).
+_HIT_INSTRUCTIONS = 1_000
+_MISS_INSTRUCTIONS = 10_000
+
+#: Usage count ceiling for the clock sweep (as in PostgreSQL).
+_MAX_USAGE = 5
+
+
+@dataclass
+class BufferStats:
+    """Counters exposed for benchmarks and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    allocations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class Buffer:
+    """One pooled frame holding one page of one relation file."""
+
+    smgr: "StorageManager"
+    fileid: str
+    blockno: int
+    page: SlottedPage
+    dirty: bool = False
+    pin_count: int = 0
+    usage: int = 1
+
+    @property
+    def key(self) -> tuple[int, str, int]:
+        return (id(self.smgr), self.fileid, self.blockno)
+
+
+class BufferManager:
+    """Fixed-size pool of page buffers shared by all relations."""
+
+    def __init__(self, pool_size: int = 256,
+                 clock: SimClock | None = None,
+                 cpu: CpuModel | None = None,
+                 verify_checksums: bool = True):
+        if pool_size < 1:
+            raise BufferError_(f"pool size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size
+        self.clock = clock
+        self.cpu = cpu if (cpu and clock) else None
+        self.verify_checksums = verify_checksums
+        self.stats = BufferStats()
+        self._frames: dict[tuple[int, str, int], Buffer] = {}
+        self._sweep_order: list[tuple[int, str, int]] = []
+        self._hand = 0
+        #: Pool-side view of each file's length, >= the device's nblocks.
+        self._virtual_nblocks: dict[tuple[int, str], int] = {}
+
+    # -- CPU accounting ------------------------------------------------------
+
+    def _charge(self, instructions: int) -> None:
+        if self.cpu is not None:
+            self.cpu.charge(self.clock, instructions)
+
+    # -- file length ---------------------------------------------------------
+
+    def nblocks(self, smgr: "StorageManager", fileid: str) -> int:
+        """Logical length of the file: device blocks plus unflushed tail."""
+        key = (id(smgr), fileid)
+        if key not in self._virtual_nblocks:
+            self._virtual_nblocks[key] = smgr.nblocks(fileid)
+        return self._virtual_nblocks[key]
+
+    # -- pin / unpin -----------------------------------------------------------
+
+    def pin(self, smgr: "StorageManager", fileid: str, blockno: int) -> Buffer:
+        """Pin the page; reads it from the device on a pool miss."""
+        key = (id(smgr), fileid, blockno)
+        buf = self._frames.get(key)
+        if buf is not None:
+            self.stats.hits += 1
+            self._charge(_HIT_INSTRUCTIONS)
+            buf.pin_count += 1
+            buf.usage = min(buf.usage + 1, _MAX_USAGE)
+            return buf
+
+        self.stats.misses += 1
+        self._charge(_MISS_INSTRUCTIONS)
+        self._make_room()
+        raw = smgr.read_block(fileid, blockno)
+        page = SlottedPage(raw)
+        if self.verify_checksums and page.lsn != 0 and not page.verify_checksum():
+            raise ChecksumError(
+                f"checksum mismatch reading block {blockno} of {fileid!r}")
+        buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
+                     page=page, pin_count=1)
+        self._install(buf)
+        return buf
+
+    def prefetch(self, smgr: "StorageManager", fileid: str,
+                 blockno: int, count: int) -> int:
+        """Read up to *count* blocks starting at *blockno* into the pool.
+
+        Sequential readahead: the blocks arrive unpinned with low usage so
+        they are cheap to evict if the guess was wrong, but a streaming
+        reader finds them resident.  Returns how many were actually read.
+        """
+        limit = min(blockno + count, smgr.nblocks(fileid))
+        fetched = 0
+        for block in range(max(0, blockno), limit):
+            key = (id(smgr), fileid, block)
+            if key in self._frames:
+                continue
+            self._make_room()
+            raw = smgr.read_block(fileid, block)
+            page = SlottedPage(raw)
+            if (self.verify_checksums and page.lsn != 0
+                    and not page.verify_checksum()):
+                raise ChecksumError(
+                    f"checksum mismatch prefetching block {block} "
+                    f"of {fileid!r}")
+            buf = Buffer(smgr=smgr, fileid=fileid, blockno=block,
+                         page=page, pin_count=0, usage=1)
+            self._install(buf)
+            fetched += 1
+        return fetched
+
+    def allocate(self, smgr: "StorageManager", fileid: str,
+                 special_size: int = 0) -> Buffer:
+        """Append a fresh, pinned, dirty page to the file (no device I/O)."""
+        self.stats.allocations += 1
+        self._charge(_MISS_INSTRUCTIONS)
+        self._make_room()
+        blockno = self.nblocks(smgr, fileid)
+        self._virtual_nblocks[(id(smgr), fileid)] = blockno + 1
+        buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
+                     page=SlottedPage(special_size=special_size),
+                     dirty=True, pin_count=1)
+        self._install(buf)
+        return buf
+
+    def unpin(self, buf: Buffer, dirty: bool = False) -> None:
+        """Release one pin; *dirty* marks the page as modified."""
+        if buf.pin_count <= 0:
+            raise BufferError_(
+                f"unpin of unpinned buffer {buf.fileid!r}:{buf.blockno}")
+        buf.pin_count -= 1
+        if dirty:
+            buf.dirty = True
+
+    @contextmanager
+    def page(self, smgr: "StorageManager", fileid: str, blockno: int,
+             write: bool = False) -> Iterator[SlottedPage]:
+        """Pin a page for the duration of a ``with`` block."""
+        buf = self.pin(smgr, fileid, blockno)
+        try:
+            yield buf.page
+        finally:
+            self.unpin(buf, dirty=write)
+
+    # -- replacement -------------------------------------------------------------
+
+    def _install(self, buf: Buffer) -> None:
+        self._frames[buf.key] = buf
+        self._sweep_order.append(buf.key)
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.pool_size:
+            return
+        victim = self._pick_victim()
+        if victim is None:
+            raise BufferError_(
+                f"buffer pool exhausted: all {self.pool_size} pages pinned")
+        self._evict(victim)
+
+    def _pick_victim(self) -> Buffer | None:
+        """Clock sweep: decrement usage counts until a (0, unpinned) frame."""
+        if not self._sweep_order:
+            return None
+        for _ in range(len(self._sweep_order) * (_MAX_USAGE + 1)):
+            if self._hand >= len(self._sweep_order):
+                self._hand = 0
+            key = self._sweep_order[self._hand]
+            buf = self._frames.get(key)
+            if buf is None:
+                # Stale entry left by drop_file; compact lazily.
+                self._sweep_order.pop(self._hand)
+                continue
+            if buf.pin_count == 0:
+                if buf.usage == 0:
+                    self._sweep_order.pop(self._hand)
+                    return buf
+                buf.usage -= 1
+            self._hand += 1
+        return None
+
+    def _evict(self, buf: Buffer) -> None:
+        self.stats.evictions += 1
+        if buf.dirty:
+            # Write back every dirty page of the victim's file, in block
+            # order, while we are positioned on that file anyway — the
+            # elevator-style batching any real buffer manager does.  The
+            # pages stay cached (clean), so later evictions are free.
+            self._writeback_batch(buf.smgr, buf.fileid)
+        del self._frames[buf.key]
+
+    def _writeback_batch(self, smgr: "StorageManager", fileid: str) -> None:
+        dirty = sorted(
+            (other for other in self._frames.values()
+             if other.smgr is smgr and other.fileid == fileid
+             and other.dirty),
+            key=lambda b: b.blockno)
+        for other in dirty:
+            if other.dirty:  # hole-filling may have cleaned it already
+                self._writeback(other)
+
+    def _writeback(self, buf: Buffer) -> None:
+        """Write a dirty page to its device, zero-filling any hole first."""
+        self.stats.writebacks += 1
+        device_blocks = buf.smgr.nblocks(buf.fileid)
+        zero = bytes(PAGE_SIZE)
+        for hole in range(device_blocks, buf.blockno):
+            hole_buf = self._frames.get((id(buf.smgr), buf.fileid, hole))
+            if hole_buf is not None and hole_buf.dirty:
+                hole_buf.page.stamp_checksum()
+                buf.smgr.write_block(buf.fileid, hole, bytes(hole_buf.page.buf))
+                hole_buf.dirty = False
+                self.stats.writebacks += 1
+            else:
+                buf.smgr.write_block(buf.fileid, hole, zero)
+        buf.page.stamp_checksum()
+        buf.smgr.write_block(buf.fileid, buf.blockno, bytes(buf.page.buf))
+        buf.dirty = False
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_file(self, smgr: "StorageManager", fileid: str) -> int:
+        """Write all dirty pages of one file, in block order.
+
+        This is the force-at-commit path.  Returns the number of pages
+        written.
+        """
+        dirty = sorted(
+            (buf for buf in self._frames.values()
+             if buf.smgr is smgr and buf.fileid == fileid and buf.dirty),
+            key=lambda b: b.blockno)
+        for buf in dirty:
+            if buf.dirty:  # _writeback may have flushed it as a hole-filler
+                self._writeback(buf)
+        if dirty:
+            smgr.sync(fileid)
+        return len(dirty)
+
+    def flush_all(self) -> int:
+        """Write every dirty page in the pool (checkpoint)."""
+        written = 0
+        by_file: dict[tuple[int, str], StorageManager] = {}
+        for buf in self._frames.values():
+            if buf.dirty:
+                by_file[(id(buf.smgr), buf.fileid)] = buf.smgr
+        for (_smgr_id, fileid), smgr in sorted(by_file.items(),
+                                               key=lambda kv: kv[0][1]):
+            written += self.flush_file(smgr, fileid)
+        return written
+
+    def drop_file(self, smgr: "StorageManager", fileid: str) -> None:
+        """Discard (without writing) all buffered pages of a dropped file."""
+        stale = [key for key, buf in self._frames.items()
+                 if buf.smgr is smgr and buf.fileid == fileid]
+        for key in stale:
+            del self._frames[key]
+        self._virtual_nblocks.pop((id(smgr), fileid), None)
+
+    def pinned_count(self) -> int:
+        """Number of frames with at least one pin (should be 0 at rest)."""
+        return sum(1 for buf in self._frames.values() if buf.pin_count > 0)
+
+    def invalidate_all(self) -> None:
+        """Flush everything, then empty the pool (cold-start benchmarks)."""
+        if self.pinned_count():
+            raise BufferError_("cannot invalidate while pages are pinned")
+        self.flush_all()
+        self._frames.clear()
+        self._sweep_order.clear()
+        self._hand = 0

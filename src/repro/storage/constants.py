@@ -1,0 +1,43 @@
+"""Storage-layer constants, chosen to match the paper's POSTGRES V4.
+
+The paper stores f-chunk records as ``(sequence-number = int4,
+data = byte[8000])`` on 8 KB pages, "a small amount of space … reserved for
+the tuple and page headers" (§6.3).  The header sizes below are what our
+page and tuple formats actually occupy; ``CHUNK_PAYLOAD`` is sized so one
+uncompressed chunk record exactly fills one page — which is what produces
+the paper's Figure 1/2 effects (30 % compression saves no space because two
+compressed chunks only fit a page when each shrinks to roughly half).
+"""
+
+from __future__ import annotations
+
+#: POSTGRES page size (bytes).
+PAGE_SIZE = 8192
+
+#: Bytes of fixed page header: lsn(8) checksum(4) flags(2) lower(2)
+#: upper(2) special(2) reserved(4).
+PAGE_HEADER_SIZE = 24
+
+#: Bytes per line pointer (offset(2) flags+length(2) packed into 4 bytes).
+ITEM_ID_SIZE = 4
+
+#: Bytes of heap tuple header: xmin(8) xmax(8) oid(8) flags(4) natts(4).
+TUPLE_HEADER_SIZE = 32
+
+#: User bytes per f-chunk record, per the paper ("byte[8000]").
+CHUNK_PAYLOAD = 8000
+
+#: Largest tuple (header + data) that fits on an empty page.
+MAX_TUPLE_SIZE = PAGE_SIZE - PAGE_HEADER_SIZE - ITEM_ID_SIZE
+
+#: Benchmark frame size from §9.1 of the paper.
+FRAME_SIZE = 4096
+
+#: Number of frames in the paper's 51.2 MB benchmark object.
+FRAME_COUNT = 12_500
+
+#: Invalid transaction id sentinel (tuple never deleted / never inserted).
+INVALID_XID = 0
+
+#: First transaction id handed out by the transaction manager.
+FIRST_XID = 2

@@ -1,0 +1,50 @@
+"""A small free-space map so heap inserts don't scan the whole relation.
+
+The map is an in-memory, best-effort hint: it remembers the approximate
+free bytes of pages that recently gained space (deletes, vacuum) plus the
+current insertion target.  Losing it is harmless — inserts fall back to
+"try the last page, else extend", which is also what keeps bulk loads
+appending sequentially (important for the paper's sequential-write numbers).
+"""
+
+from __future__ import annotations
+
+
+class FreeSpaceMap:
+    """Per-relation page free-space hints."""
+
+    def __init__(self) -> None:
+        self._free: dict[int, int] = {}
+        self._last_insert: int | None = None
+
+    def record(self, blockno: int, free_bytes: int) -> None:
+        """Remember that *blockno* has about *free_bytes* available."""
+        if free_bytes <= 0:
+            self._free.pop(blockno, None)
+        else:
+            self._free[blockno] = free_bytes
+
+    def note_insert_target(self, blockno: int) -> None:
+        """Remember the page the relation last inserted into."""
+        self._last_insert = blockno
+
+    @property
+    def insert_target(self) -> int | None:
+        return self._last_insert
+
+    def find(self, needed: int) -> int | None:
+        """A page believed to fit *needed* bytes, or ``None``.
+
+        Prefers the current insertion target (keeps inserts clustered and
+        sequential), then the lowest-numbered known page with room.
+        """
+        target = self._last_insert
+        if target is not None and self._free.get(target, 0) >= needed:
+            return target
+        candidates = [b for b, free in self._free.items() if free >= needed]
+        return min(candidates) if candidates else None
+
+    def forget(self) -> None:
+        """Drop all hints (after truncate or drop)."""
+        self._free.clear()
+        self._last_insert = None

@@ -1,0 +1,307 @@
+"""Slotted 8 KB page, in the style of the POSTGRES page layout.
+
+A page is a fixed-size ``bytearray`` with:
+
+* a 24-byte header — LSN, checksum, flags, ``lower`` (end of the line-pointer
+  array), ``upper`` (start of tuple data), ``special`` (start of the
+  special space used by index pages);
+* an array of 4-byte **line pointers** (*ItemIds*) growing down from the
+  header, each holding the offset and length of one item plus a 2-bit state
+  (unused / normal / dead / redirect);
+* tuple data growing up from ``special`` toward ``lower``.
+
+Deleting an item marks its line pointer dead but leaves the slot number
+stable, so TIDs (page, slot) held by indexes stay valid; ``compact()``
+reclaims the dead space without renumbering slots — exactly the vacuum-style
+behaviour heap relations need.
+
+The checksum covers the whole page except the checksum field itself and is
+verified by the buffer manager when a page is read from a device.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import PageError, PageFullError
+from repro.storage.constants import ITEM_ID_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE
+
+# Header: lsn(8) checksum(4) flags(2) lower(2) upper(2) special(2) reserved(4)
+_HEADER = struct.Struct("<QIHHHH4x")
+assert _HEADER.size == PAGE_HEADER_SIZE
+
+# Line pointer: offset(2), then length(14 bits) | state(2 bits)
+_ITEMID = struct.Struct("<HH")
+assert _ITEMID.size == ITEM_ID_SIZE
+
+#: Line-pointer states.
+LP_UNUSED = 0
+LP_NORMAL = 1
+LP_DEAD = 2
+
+_LP_STATE_MASK = 0x3
+_LP_LEN_SHIFT = 2
+_LP_MAX_LEN = (1 << 14) - 1
+
+
+@dataclass(frozen=True)
+class ItemId:
+    """Decoded line pointer: where an item lives and whether it is live."""
+
+    offset: int
+    length: int
+    state: int
+
+    @property
+    def is_live(self) -> bool:
+        return self.state == LP_NORMAL
+
+
+class SlottedPage:
+    """A mutable view over one page buffer.
+
+    The page object does not own durability — the buffer manager does.  All
+    offsets are validated; a malformed page raises :class:`PageError` rather
+    than corrupting neighbours.
+    """
+
+    def __init__(self, buf: bytearray | None = None, special_size: int = 0):
+        if buf is None:
+            self.buf = bytearray(PAGE_SIZE)
+            special = PAGE_SIZE - special_size
+            self._write_header(
+                lsn=0, checksum=0, flags=0,
+                lower=PAGE_HEADER_SIZE, upper=special, special=special)
+        else:
+            if len(buf) != PAGE_SIZE:
+                raise PageError(
+                    f"page buffer is {len(buf)} bytes, expected {PAGE_SIZE}")
+            self.buf = buf
+
+    # -- header access ----------------------------------------------------
+
+    def _read_header(self) -> tuple[int, int, int, int, int, int]:
+        return _HEADER.unpack_from(self.buf, 0)
+
+    def _write_header(self, lsn: int, checksum: int, flags: int,
+                      lower: int, upper: int, special: int) -> None:
+        _HEADER.pack_into(self.buf, 0, lsn, checksum, flags,
+                          lower, upper, special)
+
+    @property
+    def lsn(self) -> int:
+        return self._read_header()[0]
+
+    @lsn.setter
+    def lsn(self, value: int) -> None:
+        lsn, checksum, flags, lower, upper, special = self._read_header()
+        self._write_header(value, checksum, flags, lower, upper, special)
+
+    @property
+    def lower(self) -> int:
+        return self._read_header()[3]
+
+    @property
+    def upper(self) -> int:
+        return self._read_header()[4]
+
+    @property
+    def special_offset(self) -> int:
+        return self._read_header()[5]
+
+    def special_space(self) -> memoryview:
+        """The index-private region at the end of the page (mutable)."""
+        return memoryview(self.buf)[self.special_offset:]
+
+    # -- line pointers ----------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """Number of line pointers, live or dead."""
+        return (self.lower - PAGE_HEADER_SIZE) // ITEM_ID_SIZE
+
+    def _itemid_pos(self, slot: int) -> int:
+        if not 0 <= slot < self.slot_count:
+            raise PageError(
+                f"slot {slot} out of range (page has {self.slot_count})")
+        return PAGE_HEADER_SIZE + slot * ITEM_ID_SIZE
+
+    def item_id(self, slot: int) -> ItemId:
+        """Decode the line pointer for *slot*."""
+        offset, lenstate = _ITEMID.unpack_from(self.buf, self._itemid_pos(slot))
+        return ItemId(offset=offset,
+                      length=lenstate >> _LP_LEN_SHIFT,
+                      state=lenstate & _LP_STATE_MASK)
+
+    def _set_item_id(self, slot: int, offset: int, length: int,
+                     state: int) -> None:
+        if length > _LP_MAX_LEN:
+            raise PageError(f"item length {length} exceeds {_LP_MAX_LEN}")
+        _ITEMID.pack_into(self.buf, self._itemid_pos(slot),
+                          offset, (length << _LP_LEN_SHIFT) | state)
+
+    # -- space accounting --------------------------------------------------
+
+    def free_space(self) -> int:
+        """Contiguous bytes available for a new item plus its line pointer."""
+        gap = self.upper - self.lower
+        return max(0, gap - ITEM_ID_SIZE)
+
+    def can_fit(self, length: int) -> bool:
+        """Whether an item of *length* bytes can be stored on this page,
+        counting space that a compaction would reclaim."""
+        if length <= self.free_space():
+            return True
+        live = sum(self.item_id(slot).length
+                   for slot in range(self.slot_count)
+                   if self.item_id(slot).is_live)
+        dead_slots = any(self.item_id(slot).state == LP_DEAD
+                         for slot in range(self.slot_count))
+        pointer_slots = self.slot_count + (0 if dead_slots else 1)
+        ceiling = (self.special_offset - PAGE_HEADER_SIZE
+                   - pointer_slots * ITEM_ID_SIZE)
+        return length <= ceiling - live
+
+    # -- item operations ---------------------------------------------------
+
+    def add_item(self, data: bytes) -> int:
+        """Store *data* on the page and return its slot number.
+
+        Reuses a dead line pointer when one exists (keeping the pointer
+        array from growing without bound under churn); otherwise appends a
+        new pointer.  Raises :class:`PageFullError` when the page cannot
+        hold the item.
+        """
+        length = len(data)
+        if length == 0:
+            raise PageError("cannot store a zero-length item")
+        lsn, checksum, flags, lower, upper, special = self._read_header()
+
+        reuse = None
+        for slot in range(self.slot_count):
+            if self.item_id(slot).state == LP_DEAD:
+                reuse = slot
+                break
+
+        needed = length if reuse is not None else length + ITEM_ID_SIZE
+        if upper - lower < needed:
+            raise PageFullError(
+                f"item of {length} bytes does not fit "
+                f"({upper - lower} bytes free)")
+
+        new_upper = upper - length
+        self.buf[new_upper:new_upper + length] = data
+        if reuse is not None:
+            slot = reuse
+        else:
+            slot = self.slot_count
+            lower += ITEM_ID_SIZE
+        self._write_header(lsn, checksum, flags, lower, new_upper, special)
+        self._set_item_id(slot, new_upper, length, LP_NORMAL)
+        return slot
+
+    def get_item(self, slot: int) -> bytes:
+        """Return the bytes of the live item in *slot*."""
+        item = self.item_id(slot)
+        if not item.is_live:
+            raise PageError(f"slot {slot} is not live (state={item.state})")
+        return bytes(self.buf[item.offset:item.offset + item.length])
+
+    def delete_item(self, slot: int) -> None:
+        """Mark *slot* dead.  Space is reclaimed later by :meth:`compact`."""
+        item = self.item_id(slot)
+        if not item.is_live:
+            raise PageError(f"slot {slot} already dead or unused")
+        self._set_item_id(slot, 0, 0, LP_DEAD)
+
+    def overwrite_item(self, slot: int, data: bytes) -> None:
+        """Replace the item in *slot* in place.
+
+        Only same-length overwrites are done in place; a different length
+        deletes + re-adds into the same slot (compacting first if needed).
+        Callers in the no-overwrite heap never use this for user tuples —
+        it exists for index pages and tuple-header updates (setting xmax),
+        which POSTGRES also updated in place.
+        """
+        item = self.item_id(slot)
+        if not item.is_live:
+            raise PageError(f"slot {slot} is not live")
+        if len(data) == item.length:
+            self.buf[item.offset:item.offset + item.length] = data
+            return
+        old_data = bytes(self.buf[item.offset:item.offset + item.length])
+        self._set_item_id(slot, 0, 0, LP_DEAD)
+        if len(data) > self.upper - self.lower:
+            self.compact()
+        replacement = data
+        lsn, checksum, flags, lower, upper, special = self._read_header()
+        if len(data) > upper - lower:
+            # Put the original item back (compaction may have moved
+            # everything, so re-insert rather than restore the old offset).
+            replacement = old_data
+        new_upper = upper - len(replacement)
+        self.buf[new_upper:new_upper + len(replacement)] = replacement
+        self._write_header(lsn, checksum, flags, lower, new_upper, special)
+        self._set_item_id(slot, new_upper, len(replacement), LP_NORMAL)
+        if replacement is not data:
+            raise PageFullError(
+                f"replacement item of {len(data)} bytes does not fit")
+
+    def live_slots(self) -> list[int]:
+        """Slot numbers of all live items, in slot order."""
+        return [s for s in range(self.slot_count)
+                if self.item_id(s).is_live]
+
+    def compact(self) -> int:
+        """Slide live items together, reclaiming dead space.
+
+        Slot numbers are preserved.  Returns the number of free bytes after
+        compaction.
+        """
+        lsn, checksum, flags, lower, _upper, special = self._read_header()
+        items = []
+        for slot in range(self.slot_count):
+            item = self.item_id(slot)
+            if item.is_live:
+                items.append(
+                    (slot, bytes(self.buf[item.offset:
+                                          item.offset + item.length])))
+        # Rewrite from the top of the data area down.
+        upper = special
+        for slot, data in sorted(items, key=lambda x: -len(x[1])):
+            upper -= len(data)
+            self.buf[upper:upper + len(data)] = data
+            self._set_item_id(slot, upper, len(data), LP_NORMAL)
+        if upper < lower:
+            raise PageError("page corrupted: live data overlaps pointers")
+        self._write_header(lsn, checksum, flags, lower, upper, special)
+        return upper - lower
+
+    # -- checksums ----------------------------------------------------------
+
+    def compute_checksum(self) -> int:
+        """CRC32 of the page with the checksum field zeroed."""
+        header = self.buf[:PAGE_HEADER_SIZE]
+        lsn, _checksum, flags, lower, upper, special = _HEADER.unpack(header)
+        clean = bytearray(header)
+        _HEADER.pack_into(clean, 0, lsn, 0, flags, lower, upper, special)
+        crc = zlib.crc32(clean)
+        return zlib.crc32(self.buf[PAGE_HEADER_SIZE:], crc) & 0xFFFFFFFF
+
+    def stamp_checksum(self) -> None:
+        """Store the current checksum into the header (before a device write)."""
+        lsn, _checksum, flags, lower, upper, special = self._read_header()
+        self._write_header(lsn, self.compute_checksum(), flags,
+                           lower, upper, special)
+
+    def verify_checksum(self) -> bool:
+        """True if the stored checksum matches the page contents."""
+        stored = self._read_header()[1]
+        return stored == self.compute_checksum()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SlottedPage(slots={self.slot_count}, "
+                f"free={self.free_space()}, lower={self.lower}, "
+                f"upper={self.upper})")

@@ -1,0 +1,5 @@
+"""Operational tools: logical dump and restore."""
+
+from repro.tools.dump import dump_database, restore_database
+
+__all__ = ["dump_database", "restore_database"]

@@ -1,0 +1,25 @@
+"""Transactions, visibility, and time travel.
+
+POSTGRES had no write-ahead log: tuples are never overwritten, every tuple
+version carries the inserting and deleting transaction ids, a commit log
+(``pg_log``) records each transaction's fate and commit *time*, and commit
+forces dirty pages to stable storage.  Time travel is then just a visibility
+rule — read the version whose commit-time interval covers the requested
+instant.  This is why the paper's f-chunk and v-segment large objects get
+transactions **and** historical versions "automatically" (§6.3, §6.4).
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.snapshot import Snapshot
+from repro.txn.xlog import CommitLog, TxnStatus
+
+__all__ = [
+    "CommitLog",
+    "TxnStatus",
+    "Snapshot",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+]

@@ -1,0 +1,91 @@
+"""Two-phase locking with shared/exclusive modes and no-wait conflicts.
+
+The library runs transactions cooperatively in one process, so a lock that
+cannot be granted raises :class:`~repro.errors.LockError` immediately (the
+classic *no-wait* policy) instead of blocking — blocking would deadlock a
+single-threaded caller, and no-wait makes deadlock impossible by
+construction.  Locks are held until end of transaction (strict 2PL) and
+released in bulk by the transaction manager.
+
+Resources are identified by arbitrary hashable keys; the conventional keys
+are ``("relation", name)`` and ``("largeobject", oid)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Hashable
+
+from repro.errors import LockError
+
+
+class LockMode(enum.Enum):
+    """Lock compatibility: SHARED conflicts only with EXCLUSIVE."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class LockManager:
+    """Grant table mapping resource keys to holder xids and modes."""
+
+    def __init__(self) -> None:
+        #: resource -> {xid: mode}
+        self._grants: dict[Hashable, dict[int, LockMode]] = defaultdict(dict)
+
+    def acquire(self, xid: int, resource: Hashable, mode: LockMode) -> None:
+        """Grant *mode* on *resource* to *xid*, or raise :class:`LockError`.
+
+        Re-acquiring an already-held mode is a no-op; holding SHARED and
+        asking for EXCLUSIVE upgrades when no other transaction holds the
+        lock.
+        """
+        holders = self._grants[resource]
+        held = holders.get(xid)
+        if held == LockMode.EXCLUSIVE or held == mode:
+            return
+        others = {x: m for x, m in holders.items() if x != xid}
+        if mode == LockMode.SHARED:
+            if any(m == LockMode.EXCLUSIVE for m in others.values()):
+                raise LockError(
+                    f"txn {xid} cannot share-lock {resource!r}: "
+                    f"exclusively held by txn "
+                    f"{self._exclusive_holder(others)}")
+        else:
+            if others:
+                raise LockError(
+                    f"txn {xid} cannot exclusive-lock {resource!r}: "
+                    f"held by txns {sorted(others)}")
+        holders[xid] = mode
+
+    @staticmethod
+    def _exclusive_holder(others: dict[int, LockMode]) -> int:
+        return next(x for x, m in others.items() if m == LockMode.EXCLUSIVE)
+
+    def release_all(self, xid: int) -> int:
+        """Drop every lock held by *xid* (end of transaction)."""
+        released = 0
+        empty = []
+        for resource, holders in self._grants.items():
+            if holders.pop(xid, None) is not None:
+                released += 1
+            if not holders:
+                empty.append(resource)
+        for resource in empty:
+            del self._grants[resource]
+        return released
+
+    def holds(self, xid: int, resource: Hashable,
+              mode: LockMode | None = None) -> bool:
+        """Whether *xid* holds a lock (of *mode*, if given) on *resource*."""
+        held = self._grants.get(resource, {}).get(xid)
+        if held is None:
+            return False
+        if mode is None:
+            return True
+        return held == mode or held == LockMode.EXCLUSIVE
+
+    def holders(self, resource: Hashable) -> dict[int, LockMode]:
+        """Current holders of *resource* (copy)."""
+        return dict(self._grants.get(resource, {}))

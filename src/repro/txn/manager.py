@@ -1,0 +1,172 @@
+"""The transaction manager: begin / commit / abort with force-at-commit.
+
+Commit follows the POSTGRES storage-system recipe (no WAL):
+
+1. flush every relation file the transaction dirtied, in block order
+   (:meth:`~repro.storage.buffer.BufferManager.flush_file`);
+2. append the commit record — with the commit *timestamp* used by time
+   travel — to ``pg_log``.
+
+If the process dies between 1 and 2 the transaction simply never committed:
+its tuples are on disk but stamped with an xid whose status is aborted, so
+no reader ever sees them.  Abort is therefore free — release locks, run the
+abort hooks, and walk away.
+
+Hooks exist because two of the paper's large-object implementations
+(u-file and p-file, §6.1–6.2) live *outside* the database and "the database
+cannot guarantee transaction semantics" for them; the hooks let the
+large-object manager at least unlink files allocated by a transaction that
+aborted.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.errors import NoActiveTransaction, TransactionError
+from repro.sim.clock import SimClock
+from repro.storage.buffer import BufferManager
+from repro.txn.locks import LockManager
+from repro.txn.snapshot import Snapshot
+from repro.txn.xlog import CommitLog
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work; created by :meth:`TransactionManager.begin`."""
+
+    def __init__(self, xid: int, manager: "TransactionManager"):
+        self.xid = xid
+        self.manager = manager
+        self.state = TxnState.ACTIVE
+        #: (smgr, fileid) pairs dirtied by this transaction.
+        self.touched: list[tuple[object, str]] = []
+        self._touched_keys: set[tuple[int, str]] = set()
+        #: Run at the start of commit, before pages are forced — open
+        #: large-object descriptors flush their write buffers here.
+        self.before_commit: list[Callable[[], None]] = []
+        self.on_commit: list[Callable[[], None]] = []
+        self.on_abort: list[Callable[[], None]] = []
+
+    def touch(self, smgr, fileid: str) -> None:
+        """Record that this transaction dirtied *fileid* on *smgr*."""
+        key = (id(smgr), fileid)
+        if key not in self._touched_keys:
+            self._touched_keys.add(key)
+            self.touched.append((smgr, fileid))
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == TxnState.ACTIVE
+
+    def require_active(self) -> None:
+        if self.state != TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.xid} is {self.state.value}")
+
+    def commit(self) -> None:
+        self.manager.commit(self)
+
+    def abort(self) -> None:
+        self.manager.abort(self)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state == TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Transaction(xid={self.xid}, {self.state.value})"
+
+
+class TransactionManager:
+    """Allocates xids, drives commit/abort, and builds snapshots."""
+
+    def __init__(self, clog: CommitLog, bufmgr: BufferManager,
+                 locks: LockManager, clock: SimClock):
+        self.clog = clog
+        self.bufmgr = bufmgr
+        self.locks = locks
+        self.clock = clock
+        self._active: dict[int, Transaction] = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        xid = self.clog.allocate_xid()
+        txn = Transaction(xid, self)
+        self._active[xid] = txn
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Force dirty pages, then make the commit durable and visible."""
+        txn.require_active()
+        for hook in txn.before_commit:
+            hook()
+        for smgr, fileid in txn.touched:
+            if smgr.exists(fileid):  # file may have been dropped again
+                self.bufmgr.flush_file(smgr, fileid)
+        self.clog.set_committed(txn.xid, self.clock.now())
+        txn.state = TxnState.COMMITTED
+        self._finish(txn, txn.on_commit)
+
+    def abort(self, txn: Transaction) -> None:
+        """Abandon the transaction; its tuples become permanent garbage."""
+        txn.require_active()
+        self.clog.set_aborted(txn.xid)
+        txn.state = TxnState.ABORTED
+        self._finish(txn, txn.on_abort)
+
+    def _finish(self, txn: Transaction, hooks: list[Callable[[], None]]) -> None:
+        self._active.pop(txn.xid, None)
+        self.locks.release_all(txn.xid)
+        failures = []
+        for hook in hooks:
+            try:
+                hook()
+            except Exception as exc:  # hooks must all run
+                failures.append(exc)
+        if failures:
+            raise TransactionError(
+                f"{len(failures)} end-of-transaction hook(s) failed: "
+                f"{failures[0]}") from failures[0]
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self, txn: Transaction | None = None,
+                 as_of: float | None = None,
+                 until: float | None = None) -> Snapshot:
+        """Visibility snapshot for *txn* (or a detached reader).
+
+        ``as_of`` alone reads a past instant; ``as_of`` + ``until`` reads
+        every version alive at any point in the interval (POSTQUEL's
+        ``CLASS["t1", "t2"]``).
+        """
+        xid = txn.xid if txn is not None else 0
+        active = frozenset(x for x in self._active if x != xid)
+        return Snapshot(xid=xid, active_xids=active, as_of=as_of,
+                        until=until, xid_ceiling=self.clog.next_xid)
+
+    def active_count(self) -> int:
+        """Number of transactions currently in progress."""
+        return len(self._active)
+
+    def require_transaction(self, txn: Transaction | None) -> Transaction:
+        """Validate that *txn* is a live transaction (helper for callers)."""
+        if txn is None:
+            raise NoActiveTransaction(
+                "this operation must run inside a transaction")
+        txn.require_active()
+        return txn

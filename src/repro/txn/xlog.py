@@ -1,0 +1,163 @@
+"""The commit log (``pg_log``): every transaction's fate, and when.
+
+POSTGRES records two bits per transaction id; we also record the commit
+*timestamp*, which classic POSTGRES kept in a companion structure (the TIME
+relation) and which time travel needs.  The log is append-only on disk —
+one fixed-size record per status change — and replayed on open, so a
+database directory can be closed and reopened (or "crashed" mid-transaction:
+an xid with no commit record is treated as aborted, which is exactly the
+no-overwrite recovery story).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+
+from repro.errors import TransactionError
+from repro.storage.constants import FIRST_XID, INVALID_XID
+
+
+class TxnStatus(enum.IntEnum):
+    """Fate of a transaction id."""
+
+    IN_PROGRESS = 0
+    COMMITTED = 1
+    ABORTED = 2
+
+
+_RECORD = struct.Struct("<QBd7x")  # xid, status, commit_time, pad to 24
+
+#: Record-type byte for xid high-water-mark records (not a TxnStatus).
+_HWM_RECORD = 0xF0
+
+#: Xids are reserved from the log in batches of this size, so a crash can
+#: never lead to reusing an xid that stamped tuples on disk.
+_XID_BATCH = 64
+
+
+class CommitLog:
+    """Append-only transaction status log with commit times.
+
+    Parameters
+    ----------
+    path:
+        File to persist records to, or ``None`` for a purely in-memory log
+        (used by throwaway benchmark databases).
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._status: dict[int, TxnStatus] = {}
+        self._commit_time: dict[int, float] = {}
+        self._next_xid = FIRST_XID
+        self._reserved_until = FIRST_XID  # exclusive upper bound on disk
+        self._handle = None
+        if path is not None:
+            self._replay()
+            self._next_xid = max(self._next_xid, self._reserved_until)
+            self._handle = open(path, "ab")
+
+    # -- persistence -----------------------------------------------------------
+
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        usable = len(data) - (len(data) % _RECORD.size)  # drop torn tail
+        for pos in range(0, usable, _RECORD.size):
+            xid, status, commit_time = _RECORD.unpack_from(data, pos)
+            if status == _HWM_RECORD:
+                self._reserved_until = max(self._reserved_until, xid)
+                continue
+            self._status[xid] = TxnStatus(status)
+            if status == TxnStatus.COMMITTED:
+                self._commit_time[xid] = commit_time
+            self._next_xid = max(self._next_xid, xid + 1)
+
+    def _append(self, xid: int, status: TxnStatus, commit_time: float) -> None:
+        if self._handle is not None:
+            self._handle.write(_RECORD.pack(xid, status, commit_time))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the backing file (records already written are durable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- xid allocation -----------------------------------------------------------
+
+    def allocate_xid(self) -> int:
+        """Hand out the next transaction id and mark it in progress.
+
+        Before crossing the on-disk reservation boundary, a high-water-mark
+        record reserving the next batch of xids is forced to the log, so no
+        xid can ever be handed out twice across a crash.
+        """
+        xid = self._next_xid
+        if self._handle is not None and xid >= self._reserved_until:
+            self._reserved_until = xid + _XID_BATCH
+            self._handle.write(
+                _RECORD.pack(self._reserved_until, _HWM_RECORD, 0.0))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._next_xid += 1
+        self._status[xid] = TxnStatus.IN_PROGRESS
+        return xid
+
+    # -- status transitions ---------------------------------------------------------
+
+    def set_committed(self, xid: int, commit_time: float) -> None:
+        """Record that *xid* committed at *commit_time*."""
+        self._require_in_progress(xid)
+        self._status[xid] = TxnStatus.COMMITTED
+        self._commit_time[xid] = commit_time
+        self._append(xid, TxnStatus.COMMITTED, commit_time)
+
+    def set_aborted(self, xid: int) -> None:
+        """Record that *xid* aborted."""
+        self._require_in_progress(xid)
+        self._status[xid] = TxnStatus.ABORTED
+        self._append(xid, TxnStatus.ABORTED, 0.0)
+
+    def _require_in_progress(self, xid: int) -> None:
+        status = self.status(xid)
+        if status != TxnStatus.IN_PROGRESS:
+            raise TransactionError(
+                f"transaction {xid} is already {status.name}")
+
+    # -- queries ---------------------------------------------------------------------
+
+    def status(self, xid: int) -> TxnStatus:
+        """The fate of *xid*.
+
+        Unknown non-zero xids are **aborted**: after a crash, a transaction
+        that never wrote its commit record never happened.
+        """
+        if xid == INVALID_XID:
+            raise TransactionError("the invalid xid has no status")
+        return self._status.get(xid, TxnStatus.ABORTED)
+
+    def is_committed(self, xid: int) -> bool:
+        return self.status(xid) == TxnStatus.COMMITTED
+
+    def commit_time(self, xid: int) -> float:
+        """Commit timestamp of a committed *xid*."""
+        if xid not in self._commit_time:
+            raise TransactionError(f"transaction {xid} has no commit time "
+                                   f"(status {self.status(xid).name})")
+        return self._commit_time[xid]
+
+    @property
+    def next_xid(self) -> int:
+        """The next xid that will be allocated (snapshot ceilings)."""
+        return self._next_xid
+
+    def in_progress_xids(self) -> set[int]:
+        """All xids currently marked in progress."""
+        return {xid for xid, st in self._status.items()
+                if st == TxnStatus.IN_PROGRESS}

@@ -1,0 +1,32 @@
+"""Shared fixtures: a wired-up storage/transaction stack without the DB façade."""
+
+import itertools
+
+import pytest
+
+from repro.sim import SimClock
+from repro.smgr import MemoryStorageManager
+from repro.storage import BufferManager
+from repro.txn import CommitLog, LockManager, TransactionManager
+
+
+class Stack:
+    """A minimal wired stack for access-layer tests."""
+
+    def __init__(self, pool_size=64):
+        self.clock = SimClock()
+        self.smgr = MemoryStorageManager(self.clock)
+        self.bufmgr = BufferManager(pool_size=pool_size)
+        self.clog = CommitLog()
+        self.locks = LockManager()
+        self.tm = TransactionManager(self.clog, self.bufmgr,
+                                     self.locks, self.clock)
+        self._oids = itertools.count(1)
+
+    def next_oid(self):
+        return next(self._oids)
+
+
+@pytest.fixture
+def stack():
+    return Stack()

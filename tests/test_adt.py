@@ -1,0 +1,150 @@
+"""Unit tests for the ADT system: types, functions, operators, Datum."""
+
+import pytest
+
+from repro.adt import Datum, FunctionRegistry, TypeRegistry
+from repro.adt.types import normalize_storage
+from repro.errors import CastError, UnknownFunction, UnknownType
+
+
+class TestTypeRegistry:
+    def test_builtins_present(self):
+        registry = TypeRegistry()
+        for name in ("int4", "int8", "float8", "bool", "text", "bytea",
+                     "oid", "name", "rect"):
+            assert registry.exists(name)
+
+    def test_rect_conversion_roundtrip(self):
+        registry = TypeRegistry()
+        rect = registry.get("rect")
+        value = rect.parse("0,0,20,20")
+        assert value == (0.0, 0.0, 20.0, 20.0)
+        assert rect.render(value) == "0,0,20,20"
+
+    def test_bad_rect_rejected(self):
+        registry = TypeRegistry()
+        with pytest.raises(CastError):
+            registry.get("rect").parse("1,2,3")
+
+    def test_register_small_type(self):
+        registry = TypeRegistry()
+        registry.register("rgb",
+                          lambda s: tuple(int(x) for x in s.split("/")),
+                          lambda v: "/".join(str(x) for x in v))
+        assert registry.get("rgb").parse("1/2/3") == (1, 2, 3)
+        assert not registry.is_large("rgb")
+
+    def test_register_large_type(self):
+        registry = TypeRegistry()
+        definition = registry.register_large(
+            "image", storage="v-segment", compression="zlib")
+        assert definition.is_large
+        assert definition.storage == "vsegment"
+        assert registry.large_names() == ["image"]
+
+    def test_unknown_type(self):
+        with pytest.raises(UnknownType):
+            TypeRegistry().get("nope")
+
+    def test_storage_spellings(self):
+        assert normalize_storage("f-chunk") == "fchunk"
+        assert normalize_storage("vsegment") == "vsegment"
+        with pytest.raises(UnknownType):
+            normalize_storage("toast")
+
+    def test_bool_conversion(self):
+        registry = TypeRegistry()
+        boolean = registry.get("bool")
+        assert boolean.parse("true") is True
+        assert boolean.parse("0") is False
+        assert boolean.render(True) == "true"
+
+    def test_bytea_hex_conversion(self):
+        registry = TypeRegistry()
+        bytea = registry.get("bytea")
+        assert bytea.parse("deadbeef") == b"\xde\xad\xbe\xef"
+        assert bytea.render(b"\x01\x02") == "0102"
+
+
+class TestFunctionRegistry:
+    def test_exact_resolution(self):
+        registry = FunctionRegistry()
+        registry.register("f", ("int4", "text"), "bool",
+                          lambda a, b: True)
+        assert registry.resolve("f", ("int4", "text")).return_type == "bool"
+
+    def test_overloading_by_types(self):
+        registry = FunctionRegistry()
+        registry.register("size", ("image",), "int4", lambda x: 1)
+        registry.register("size", ("video",), "int8", lambda x: 2)
+        assert registry.resolve("size", ("image",)).fn(None) == 1
+        assert registry.resolve("size", ("video",)).fn(None) == 2
+
+    def test_wildcard_fallback(self):
+        registry = FunctionRegistry()
+        registry.register("typename", ("*",), "text", lambda x: "any")
+        assert registry.resolve("typename", ("rect",)).fn(0) == "any"
+
+    def test_exact_beats_wildcard(self):
+        registry = FunctionRegistry()
+        registry.register("f", ("*",), "text", lambda x: "generic")
+        registry.register("f", ("int4",), "text", lambda x: "specific")
+        assert registry.resolve("f", ("int4",)).fn(0) == "specific"
+
+    def test_unknown_function(self):
+        with pytest.raises(UnknownFunction):
+            FunctionRegistry().resolve("nope", ())
+
+    def test_wrong_arity_not_matched(self):
+        registry = FunctionRegistry()
+        registry.register("f", ("int4",), "int4", abs)
+        with pytest.raises(UnknownFunction):
+            registry.resolve("f", ("int4", "int4"))
+
+    def test_builtin_arithmetic_operators(self):
+        registry = FunctionRegistry()
+        plus = registry.resolve_operator("+", "int4", "int4")
+        assert plus.fn(2, 3) == 5
+        divide = registry.resolve_operator("/", "int4", "int4")
+        assert divide.fn(7, 2) == 3  # integer division
+        fdiv = registry.resolve_operator("/", "float8", "float8")
+        assert fdiv.fn(7.0, 2.0) == 3.5
+
+    def test_custom_operator(self):
+        registry = FunctionRegistry()
+        registry.register("rect_union", ("rect", "rect"), "rect",
+                          lambda a, b: tuple(
+                              min(x, y) if i < 2 else max(x, y)
+                              for i, (x, y) in enumerate(zip(a, b))))
+        registry.register_operator("+", "rect", "rect", "rect_union")
+        union = registry.resolve_operator("+", "rect", "rect")
+        assert union.fn((0, 0, 1, 1), (2, 2, 3, 3)) == (0, 0, 3, 3)
+
+    def test_unknown_operator(self):
+        with pytest.raises(UnknownFunction):
+            FunctionRegistry().resolve_operator("@", "text", "text")
+
+    def test_signature_rendering(self):
+        registry = FunctionRegistry()
+        definition = registry.register("clip", ("image", "rect"), "image",
+                                       lambda a, b: None)
+        assert definition.signature() == "clip(image, rect)"
+
+
+class TestDatum:
+    def test_infer(self):
+        assert Datum.infer(5) == Datum("int4", 5)
+        assert Datum.infer(2**40) == Datum("int8", 2**40)
+        assert Datum.infer(1.5) == Datum("float8", 1.5)
+        assert Datum.infer(True) == Datum("bool", True)
+        assert Datum.infer("hi") == Datum("text", "hi")
+        assert Datum.infer(b"\x00") == Datum("bytea", b"\x00")
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            Datum.infer(object())
+
+    def test_truthiness(self):
+        assert Datum("bool", True)
+        assert not Datum("bool", False)
+        assert not Datum("int4", 0)

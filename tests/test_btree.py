@@ -1,0 +1,241 @@
+"""Unit and property tests for the paged B-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import BTree
+from repro.errors import RelationError
+
+
+@pytest.fixture
+def tree(stack):
+    t = BTree("idx", stack.smgr, stack.bufmgr, key_arity=1)
+    t.create_storage()
+    return t
+
+
+class TestBasics:
+    def test_empty_search(self, tree):
+        assert tree.search((1,)) == []
+
+    def test_insert_and_search(self, tree):
+        tree.insert((5,), (1, 2))
+        assert tree.search((5,)) == [(1, 2)]
+
+    def test_duplicates_preserved(self, tree):
+        tree.insert((5,), (1, 0))
+        tree.insert((5,), (2, 0))
+        tree.insert((5,), (3, 0))
+        assert sorted(tree.search((5,))) == [(1, 0), (2, 0), (3, 0)]
+
+    def test_arity_checked(self, tree):
+        with pytest.raises(RelationError):
+            tree.insert((1, 2), (0, 0))
+        with pytest.raises(RelationError):
+            tree.search((1, 2))
+
+    def test_bad_arity_construction(self, stack):
+        with pytest.raises(RelationError):
+            BTree("bad", stack.smgr, stack.bufmgr, key_arity=0)
+
+    def test_create_storage_idempotent(self, stack, tree):
+        tree.insert((1,), (0, 0))
+        tree.create_storage()
+        assert tree.search((1,)) == [(0, 0)]
+
+    def test_negative_keys(self, tree):
+        tree.insert((-100,), (1, 0))
+        tree.insert((100,), (2, 0))
+        assert tree.search((-100,)) == [(1, 0)]
+        assert [k for k, _ in tree.range_scan()] == [(-100,), (100,)]
+
+
+class TestSplits:
+    def test_many_inserts_ordered(self, tree):
+        n = 2000
+        for i in range(n):
+            tree.insert((i,), (i, i % 7))
+        assert tree.height() >= 1
+        assert tree.entry_count() == n
+        tree.check_invariants()
+        for probe in (0, 1, 999, 1998, 1999):
+            assert tree.search((probe,)) == [(probe, probe % 7)]
+
+    def test_many_inserts_reverse(self, tree):
+        n = 1500
+        for i in reversed(range(n)):
+            tree.insert((i,), (i, 0))
+        assert tree.entry_count() == n
+        tree.check_invariants()
+
+    def test_many_inserts_interleaved(self, tree):
+        n = 1500
+        order = [(i * 769) % n for i in range(n)]  # 769 coprime with n
+        for i in order:
+            tree.insert((i,), (i, 0))
+        assert tree.entry_count() == n
+        tree.check_invariants()
+        assert tree.search((737,)) == [(737, 0)]
+
+    def test_grows_beyond_one_leaf(self, tree):
+        for i in range(8000):
+            tree.insert((i,), (i, 0))
+        assert tree.height() >= 1
+        assert tree.nblocks() > 20  # ~330 entries per leaf
+        assert tree.search((7999,)) == [(7999, 0)]
+
+    def test_all_duplicates_split_correctly(self, tree):
+        for i in range(1200):
+            tree.insert((42,), (i, 0))
+        assert len(tree.search((42,))) == 1200
+
+
+class TestRangeScan:
+    def test_closed_range(self, tree):
+        for i in range(100):
+            tree.insert((i,), (i, 0))
+        got = [k[0] for k, _ in tree.range_scan((10,), (20,))]
+        assert got == list(range(10, 21))
+
+    def test_open_lower(self, tree):
+        for i in range(50):
+            tree.insert((i,), (i, 0))
+        got = [k[0] for k, _ in tree.range_scan(None, (5,))]
+        assert got == list(range(6))
+
+    def test_open_upper(self, tree):
+        for i in range(50):
+            tree.insert((i,), (i, 0))
+        got = [k[0] for k, _ in tree.range_scan((45,), None)]
+        assert got == list(range(45, 50))
+
+    def test_full_scan_sorted(self, tree):
+        import random
+        rng = random.Random(7)
+        keys = list(range(600))
+        rng.shuffle(keys)
+        for k in keys:
+            tree.insert((k,), (k, 0))
+        got = [k[0] for k, _ in tree.range_scan()]
+        assert got == sorted(keys)
+
+    def test_empty_range(self, tree):
+        tree.insert((1,), (0, 0))
+        assert list(tree.range_scan((5,), (9,))) == []
+
+    def test_range_across_leaf_boundaries(self, tree):
+        for i in range(3000):
+            tree.insert((i,), (i, 0))
+        got = [k[0] for k, _ in tree.range_scan((100,), (2900,))]
+        assert got == list(range(100, 2901))
+
+
+class TestDelete:
+    def test_delete_single(self, tree):
+        tree.insert((1,), (0, 0))
+        assert tree.delete((1,)) == 1
+        assert tree.search((1,)) == []
+
+    def test_delete_specific_value(self, tree):
+        tree.insert((1,), (10, 0))
+        tree.insert((1,), (20, 0))
+        assert tree.delete((1,), (10, 0)) == 1
+        assert tree.search((1,)) == [(20, 0)]
+
+    def test_delete_missing(self, tree):
+        assert tree.delete((9,)) == 0
+
+    def test_delete_duplicates_across_leaves(self, tree):
+        for i in range(500):
+            tree.insert((7,), (i, 0))
+        for i in range(500):
+            tree.insert((9,), (i, 0))
+        assert tree.delete((7,)) == 500
+        assert tree.search((7,)) == []
+        assert len(tree.search((9,))) == 500
+
+    def test_reinsert_after_delete(self, tree):
+        for i in range(800):
+            tree.insert((i,), (i, 0))
+        tree.delete((400,))
+        tree.insert((400,), (999, 0))
+        assert tree.search((400,)) == [(999, 0)]
+        tree.check_invariants()
+
+
+class TestCompositeKeys:
+    def test_pair_keys(self, stack):
+        tree = BTree("pair", stack.smgr, stack.bufmgr, key_arity=2)
+        tree.create_storage()
+        tree.insert((1, 5), (0, 0))
+        tree.insert((1, 2), (1, 0))
+        tree.insert((2, 0), (2, 0))
+        got = [k for k, _ in tree.range_scan()]
+        assert got == [(1, 2), (1, 5), (2, 0)]
+
+    def test_pair_range(self, stack):
+        tree = BTree("pair", stack.smgr, stack.bufmgr, key_arity=2)
+        tree.create_storage()
+        for a in range(10):
+            for b in range(10):
+                tree.insert((a, b), (a, b))
+        got = [k for k, _ in tree.range_scan((3, 0), (3, 9))]
+        assert got == [(3, b) for b in range(10)]
+
+
+class TestPersistence:
+    def test_tree_survives_buffer_eviction(self, stack):
+        from repro.storage import BufferManager
+        small = BufferManager(pool_size=6)
+        tree = BTree("idx", stack.smgr, small, key_arity=1)
+        tree.create_storage()
+        for i in range(4000):
+            tree.insert((i,), (i, 0))
+        small.flush_all()
+        assert tree.search((3777,)) == [(3777, 0)]
+        tree.check_invariants()
+
+    def test_index_has_real_size(self, tree):
+        for i in range(5000):
+            tree.insert((i,), (i, 0))
+        assert tree.byte_size() > 5000 * 24  # entries actually stored
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=300))
+def test_property_matches_sorted_reference(keys):
+    """The tree agrees with a sorted-list reference model."""
+    from tests.conftest import Stack
+    stack = Stack()
+    tree = BTree("prop", stack.smgr, stack.bufmgr, key_arity=1)
+    tree.create_storage()
+    for i, k in enumerate(keys):
+        tree.insert((k,), (i, 0))
+    got = [k[0] for k, _ in tree.range_scan()]
+    assert got == sorted(keys)
+    tree.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=200),
+    st.lists(st.integers(0, 200), max_size=60),
+)
+def test_property_delete_matches_reference(inserts, deletes):
+    """Random insert/delete mix agrees with a multiset reference model."""
+    from collections import Counter
+
+    from tests.conftest import Stack
+    stack = Stack()
+    tree = BTree("prop", stack.smgr, stack.bufmgr, key_arity=1)
+    tree.create_storage()
+    reference = Counter()
+    for i, k in enumerate(inserts):
+        tree.insert((k,), (i, 0))
+        reference[k] += 1
+    for k in deletes:
+        removed = tree.delete((k,))
+        assert removed == reference.pop(k, 0)
+    got = Counter(k[0] for k, _ in tree.range_scan())
+    assert got == reference

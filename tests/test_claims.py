@@ -1,0 +1,33 @@
+"""End-to-end check of the paper's §9 prose claims.
+
+Runs the full figure pipeline once at 1/10 scale (a few seconds of wall
+clock) and asserts that every encoded claim holds.  The full-scale run is
+recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.claims import evaluate_claims, render_claims
+from repro.bench.figures import BenchConfig
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return evaluate_claims(BenchConfig(scale=0.1))
+
+
+def test_every_claim_holds(claims):
+    failing = [claim for claim in claims if not claim.holds]
+    assert not failing, "\n" + render_claims(failing)
+
+
+def test_claim_ids_are_unique(claims):
+    ids = [claim.claim_id for claim in claims]
+    assert len(set(ids)) == len(ids)
+
+
+def test_claims_cover_all_three_figures(claims):
+    text = render_claims(claims)
+    assert "fchunk30-saves-nothing" in text      # Figure 1
+    assert "fchunk-random" in text               # Figure 2
+    assert "worm-" in text                       # Figure 3

@@ -1,0 +1,113 @@
+"""Tests for the libpq-style front-end large-object API."""
+
+import pytest
+
+from repro.client import LargeObjectApi
+from repro.db import Database
+from repro.errors import LargeObjectError, NoActiveTransaction
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def api(db):
+    return LargeObjectApi(db)
+
+
+class TestLifecycle:
+    def test_creat_open_write_read(self, api):
+        api.begin()
+        oid = api.lo_creat()
+        fd = api.lo_open(oid, api.INV_WRITE | api.INV_READ)
+        assert api.lo_write(fd, b"hello large world") == 17
+        api.lo_lseek(fd, 6, 0)
+        assert api.lo_read(fd, 5) == b"large"
+        assert api.lo_tell(fd) == 11
+        api.lo_close(fd)
+        api.commit()
+
+    def test_requires_transaction(self, api):
+        with pytest.raises(NoActiveTransaction):
+            api.lo_creat()
+
+    def test_double_begin_rejected(self, api):
+        api.begin()
+        with pytest.raises(LargeObjectError):
+            api.begin()
+        api.rollback()
+
+    def test_rollback_discards(self, api, db):
+        api.begin()
+        oid = api.lo_creat()
+        fd = api.lo_open(oid, api.INV_WRITE)
+        api.lo_write(fd, b"doomed")
+        api.rollback()
+        assert not db.lo.exists(f"lo:{oid}")
+
+    def test_unlink(self, api, db):
+        api.begin()
+        oid = api.lo_creat()
+        api.lo_unlink(oid)
+        api.commit()
+        assert not db.lo.exists(f"lo:{oid}")
+
+    def test_read_only_descriptor(self, api):
+        from repro.errors import ReadOnlyObject
+        api.begin()
+        oid = api.lo_creat()
+        fd = api.lo_open(oid, api.INV_READ)
+        with pytest.raises(ReadOnlyObject):
+            api.lo_write(fd, b"x")
+        api.commit()
+
+    def test_bad_descriptor(self, api):
+        api.begin()
+        with pytest.raises(LargeObjectError):
+            api.lo_read(42, 1)
+        api.rollback()
+
+    def test_bad_mode(self, api):
+        api.begin()
+        oid = api.lo_creat()
+        with pytest.raises(LargeObjectError):
+            api.lo_open(oid, 0)
+        api.commit()
+
+    def test_commit_closes_descriptors(self, api):
+        api.begin()
+        oid = api.lo_creat()
+        fd = api.lo_open(oid, api.INV_WRITE)
+        api.lo_write(fd, b"flushed at commit")
+        api.commit()  # descriptor closed + buffered chunk materialized
+        api.begin()
+        fd = api.lo_open(oid, api.INV_READ)
+        assert api.lo_read(fd, 100) == b"flushed at commit"
+        api.commit()
+
+    def test_vsegment_objects(self, api):
+        api.begin()
+        oid = api.lo_creat(impl="vsegment", compression="zero-rle")
+        fd = api.lo_open(oid, api.INV_WRITE | api.INV_READ)
+        api.lo_write(fd, b"zz" + bytes(5000))
+        api.lo_lseek(fd, 0, 0)
+        assert api.lo_read(fd, 2) == b"zz"
+        api.commit()
+
+
+class TestImportExport:
+    def test_roundtrip_through_real_files(self, api, tmp_path):
+        source = tmp_path / "in.bin"
+        source.write_bytes(b"\x01\x02" * 50_000)
+        api.begin()
+        oid = api.lo_import(str(source))
+        api.commit()
+        api.begin()
+        target = tmp_path / "out.bin"
+        assert api.lo_export(oid, str(target)) == 100_000
+        api.commit()
+        assert target.read_bytes() == source.read_bytes()

@@ -1,0 +1,187 @@
+"""Unit and property tests for the compression layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    ByteRunCompressor,
+    CostedCompressor,
+    NullCompressor,
+    ZeroRunCompressor,
+    ZlibCompressor,
+    available_compressors,
+    get_compressor,
+)
+from repro.errors import CompressionError
+from repro.sim import CpuModel, SimClock
+
+ALL = [NullCompressor, ZeroRunCompressor, ByteRunCompressor, ZlibCompressor]
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestRoundtrip:
+    def test_empty(self, cls):
+        compressor = cls()
+        assert compressor.decompress(compressor.compress(b"")) == b""
+
+    def test_plain_text(self, cls):
+        compressor = cls()
+        data = b"the quick brown fox jumps over the lazy dog" * 10
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_all_zeros(self, cls):
+        compressor = cls()
+        data = bytes(10_000)
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_incompressible(self, cls):
+        import random
+        rng = random.Random(42)
+        data = bytes(rng.randrange(256) for _ in range(4096))
+        compressor = cls()
+        image = compressor.compress(data)
+        assert compressor.decompress(image) == data
+        # Fallback bound: at most one header byte of expansion.
+        assert len(image) <= len(data) + 1
+
+    def test_verify_roundtrip_helper(self, cls):
+        cls().verify_roundtrip(b"sanity" * 100)
+
+
+class TestZeroRun:
+    def test_zeros_compress_well(self):
+        compressor = ZeroRunCompressor()
+        data = b"header" + bytes(8000) + b"trailer"
+        image = compressor.compress(data)
+        assert len(image) < 100
+
+    def test_ratio_tracks_zero_fraction(self):
+        compressor = ZeroRunCompressor()
+        for fraction in (0.3, 0.5, 0.7):
+            n = 4096
+            zeros = int(n * fraction)
+            data = b"\xa7" * (n - zeros) + bytes(zeros)
+            image = compressor.compress(data)
+            achieved = 1 - len(image) / n
+            assert abs(achieved - fraction) < 0.02
+
+    def test_short_zero_runs_left_alone(self):
+        compressor = ZeroRunCompressor()
+        data = (b"ab\x00\x00cd" * 100)
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_corrupt_image_rejected(self):
+        compressor = ZeroRunCompressor()
+        with pytest.raises(CompressionError):
+            compressor.decompress(b"")
+        with pytest.raises(CompressionError):
+            compressor.decompress(b"\x07junk")
+        image = compressor.compress(bytes(1000))
+        with pytest.raises(CompressionError):
+            compressor.decompress(image[:1] + b"X" + image[2:])
+
+
+class TestByteRun:
+    def test_long_runs(self):
+        compressor = ByteRunCompressor()
+        data = b"\xff" * 1000 + b"\x01" * 300
+        image = compressor.compress(data)
+        assert len(image) < 30
+        assert compressor.decompress(image) == data
+
+    def test_odd_body_rejected(self):
+        with pytest.raises(CompressionError):
+            ByteRunCompressor().decompress(b"\x01\x02")
+
+
+class TestZlib:
+    def test_bad_level(self):
+        with pytest.raises(CompressionError):
+            ZlibCompressor(level=0)
+
+    def test_corrupt_deflate_rejected(self):
+        with pytest.raises(CompressionError):
+            ZlibCompressor().decompress(b"\x02notdeflate")
+
+
+class TestCosted:
+    def test_charges_clock(self):
+        clock = SimClock()
+        compressor = CostedCompressor(ZeroRunCompressor(), 8.0,
+                                      CpuModel(mips=1.0), clock)
+        compressor.compress(bytes(1_000_000))
+        assert clock.elapsed_in("cpu") == pytest.approx(8.0)
+
+    def test_decompress_charges_by_output(self):
+        clock = SimClock()
+        compressor = CostedCompressor(ZeroRunCompressor(), 10.0,
+                                      CpuModel(mips=1.0), clock)
+        image = compressor.compress(bytes(500_000))
+        clock.reset()
+        compressor.decompress(image)
+        assert clock.elapsed_in("cpu") == pytest.approx(5.0)
+
+    def test_counters(self):
+        clock = SimClock()
+        compressor = CostedCompressor(NullCompressor(), 1.0,
+                                      CpuModel(), clock)
+        compressor.compress(b"x" * 100)
+        compressor.decompress(b"y" * 40)
+        assert compressor.bytes_compressed == 100
+        assert compressor.bytes_decompressed == 40
+
+    def test_still_lossless(self):
+        clock = SimClock()
+        compressor = CostedCompressor(ZlibCompressor(), 20.0,
+                                      CpuModel(), clock)
+        data = b"payload" * 500
+        assert compressor.decompress(compressor.compress(data)) == data
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_compressors()
+        for expected in ("none", "zero-rle", "byte-rle", "zlib"):
+            assert expected in names
+
+    def test_get(self):
+        assert get_compressor("zero-rle").name == "zero-rle"
+
+    def test_unknown(self):
+        with pytest.raises(CompressionError):
+            get_compressor("lz4")
+
+    def test_custom_registration(self):
+        from repro.compress import register_compressor
+
+        class Rot13(NullCompressor):
+            name = "rot13ish"
+
+            def compress(self, data):
+                return bytes((b + 13) % 256 for b in data)
+
+            def decompress(self, data):
+                return bytes((b - 13) % 256 for b in data)
+
+        register_compressor("rot13ish", Rot13)
+        compressor = get_compressor("rot13ish")
+        assert compressor.decompress(compressor.compress(b"abc")) == b"abc"
+
+
+@pytest.mark.parametrize("cls", ALL)
+@settings(max_examples=40)
+@given(data=st.binary(max_size=5000))
+def test_property_roundtrip(cls, data):
+    compressor = cls()
+    assert compressor.decompress(compressor.compress(data)) == data
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 300)),
+                min_size=1, max_size=30))
+def test_property_zero_run_structured(spans):
+    """Alternating literal/zero spans of random lengths round-trip."""
+    data = b"".join(bytes(n) if zero else b"\x5a" * n for zero, n in spans)
+    compressor = ZeroRunCompressor()
+    assert compressor.decompress(compressor.compress(data)) == data

@@ -1,0 +1,164 @@
+"""Interleaved-transaction stress tests.
+
+Transactions run cooperatively in one process, but the machinery under
+test — snapshots, xmax stamping, no-wait 2PL, commit ordering — is the
+real thing.  These tests interleave many logical transactions and check
+that every isolation promise survives.
+"""
+
+import random
+
+import pytest
+
+from repro.db import Database
+from repro.errors import LockError, TransactionError
+
+
+@pytest.fixture
+def db():
+    database = Database(charge_cpu=False)
+    yield database
+    database.close()
+
+
+class TestInterleavedWriters:
+    def test_many_writers_one_class(self, db):
+        db.create_class("T", [("writer", "int4"), ("n", "int4")])
+        txns = [db.begin() for _ in range(10)]
+        rng = random.Random(42)
+        work = [(w, n) for w in range(10) for n in range(20)]
+        rng.shuffle(work)
+        for writer, n in work:
+            db.insert(txns[writer], "T", (writer, n))
+        # Commit even writers, abort odd ones.
+        for i, txn in enumerate(txns):
+            if i % 2 == 0:
+                txn.commit()
+            else:
+                txn.abort()
+        rows = [t.values for t in db.scan("T")]
+        assert len(rows) == 5 * 20
+        assert all(writer % 2 == 0 for writer, _ in rows)
+
+    def test_snapshot_stability_under_churn(self, db):
+        """A snapshot taken mid-churn sees a frozen world."""
+        db.create_class("T", [("n", "int4")])
+        with db.begin() as txn:
+            for n in range(10):
+                db.insert(txn, "T", (n,))
+        reader = db.begin()
+        frozen = db.snapshot(reader)
+        relation = db.get_class("T")
+
+        for round_no in range(5):
+            with db.begin() as txn:
+                db.insert(txn, "T", (100 + round_no,))
+            before = sorted(t.values for t in relation.scan(frozen))
+            assert before == [(n,) for n in range(10)]
+        reader.commit()
+
+    def test_write_write_conflicts_serialize(self, db):
+        db.create_class("T", [("n", "int4")])
+        with db.begin() as txn:
+            tid = db.insert(txn, "T", (0,))
+        winners = 0
+        for _ in range(5):
+            a, b = db.begin(), db.begin()
+            db.replace(a, "T", tid, (1,))
+            with pytest.raises(TransactionError):
+                db.replace(b, "T", tid, (2,))
+            a.abort()  # stamp removed logically: b may retry
+            db.replace(b, "T", tid, (3,))
+            b.commit()
+            tid = next(db.scan("T")).tid
+            winners += 1
+        assert winners == 5
+        assert next(db.scan("T")).values == (3,)
+
+    def test_lock_conflicts_are_no_wait(self, db):
+        db.create_class("T", [("n", "int4")])
+        from repro.txn.locks import LockMode
+        a = db.begin()
+        db.locks.acquire(a.xid, ("relation", "T"), LockMode.EXCLUSIVE)
+        b = db.begin()
+        with pytest.raises(LockError):
+            db.insert(b, "T", (1,))  # writers take SHARED: conflicts
+        a.commit()
+        db.insert(b, "T", (1,))  # free after commit
+        b.commit()
+
+
+class TestInterleavedLargeObjects:
+    def test_two_writers_different_objects(self, db):
+        a, b = db.begin(), db.begin()
+        lo_a = db.lo.create(a, "fchunk")
+        lo_b = db.lo.create(b, "fchunk")
+        with db.lo.open(lo_a, a, "rw") as obj:
+            obj.write(b"A" * 10_000)
+        with db.lo.open(lo_b, b, "rw") as obj:
+            obj.write(b"B" * 10_000)
+        a.commit()
+        b.abort()
+        with db.lo.open(lo_a) as obj:
+            assert obj.read(3) == b"AAA"
+        assert not db.lo.exists(lo_b)
+
+    def test_reader_isolated_from_concurrent_writer(self, db):
+        with db.begin() as txn:
+            designator = db.lo.create(txn, "fchunk")
+            with db.lo.open(designator, txn, "rw") as obj:
+                obj.write(b"stable")
+        writer = db.begin()
+        writer_obj = db.lo.open(designator, writer, "rw")
+        writer_obj.seek(0)
+        writer_obj.write(b"CHAOS!")
+        writer_obj.flush()
+        # A detached reader opened mid-write sees the committed state.
+        with db.lo.open(designator) as reader_obj:
+            assert reader_obj.read() == b"stable"
+        writer_obj.close()
+        writer.commit()
+        with db.lo.open(designator) as reader_obj:
+            assert reader_obj.read() == b"CHAOS!"
+
+    def test_interleaved_inversion_transactions(self, db):
+        fs = db.inversion
+        a, b = db.begin(), db.begin()
+        fs.write_file(a, "/from_a", b"a")
+        fs.write_file(b, "/from_b", b"b")
+        # Neither sees the other's uncommitted file.
+        assert fs.listdir("/", txn=a) == ["from_a"]
+        assert fs.listdir("/", txn=b) == ["from_b"]
+        a.commit()
+        b.abort()
+        assert fs.listdir("/") == ["from_a"]
+
+
+class TestCommitOrderingAndTime:
+    def test_commit_times_strictly_ordered(self, db):
+        stamps = []
+        for _ in range(20):
+            txn = db.begin()
+            txn.commit()
+            stamps.append(db.clog.commit_time(txn.xid))
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 20
+
+    def test_history_linearizes_by_commit_not_begin(self, db):
+        """A txn that began first but committed second is the newer state."""
+        db.create_class("T", [("v", "int4")])
+        with db.begin() as txn:
+            tid = db.insert(txn, "T", (0,))
+
+        early = db.begin()  # begins first
+        db.replace(early, "T", tid, (1,))
+        early.commit()
+        after_early = db.clock.now()
+
+        late = db.begin()
+        new_tid = next(db.scan("T")).tid
+        db.replace(late, "T", new_tid, (2,))
+        late.commit()
+
+        assert [t.values for t in db.scan("T", as_of=after_early)] == [(1,)]
+        assert [t.values for t in db.scan("T")] == [(2,)]

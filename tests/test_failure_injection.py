@@ -1,0 +1,114 @@
+"""Failure injection: device errors at the worst possible moments.
+
+A wrapper storage manager fails writes on command; the tests verify that
+a device failure during commit or eviction never produces a state that
+*looks* committed, and that the database remains usable (or honestly
+broken) afterward.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import StorageManagerError
+from repro.sim import SimClock
+from repro.smgr.memory import MemoryStorageManager
+
+
+class FailingStorageManager(MemoryStorageManager):
+    """Memory manager whose writes can be made to fail on demand."""
+
+    name = "flaky"
+
+    def __init__(self, clock: SimClock):
+        super().__init__(clock)
+        self.fail_after: int | None = None
+        self.writes_seen = 0
+
+    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
+        self.writes_seen += 1
+        if self.fail_after is not None \
+                and self.writes_seen > self.fail_after:
+            raise StorageManagerError(
+                f"injected device failure on write #{self.writes_seen}")
+        super().write_block(fileid, blockno, data)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.switch.register(
+        "flaky", lambda: FailingStorageManager(database.clock))
+    yield database
+    database.close()
+
+
+class TestWriteFailures:
+    def test_failure_during_commit_aborts_loudly(self, db):
+        db.create_class("T", [("v", "int4")], smgr="flaky")
+        flaky = db.storage_manager("flaky")
+        txn = db.begin()
+        db.insert(txn, "T", (1,))
+        flaky.fail_after = 0  # every further write fails
+        with pytest.raises(StorageManagerError):
+            txn.commit()
+        # The transaction never wrote its commit record.
+        from repro.txn.xlog import TxnStatus
+        assert db.clog.status(txn.xid) == TxnStatus.IN_PROGRESS
+        # A detached reader sees nothing from it.
+        flaky.fail_after = None
+        assert list(db.scan("T")) == []
+
+    def test_recovery_after_device_heals(self, db):
+        db.create_class("T", [("v", "int4")], smgr="flaky")
+        flaky = db.storage_manager("flaky")
+        txn = db.begin()
+        db.insert(txn, "T", (1,))
+        flaky.fail_after = 0
+        with pytest.raises(StorageManagerError):
+            txn.commit()
+        db.tm.abort(txn)  # resolve the stuck transaction
+        flaky.fail_after = None
+        with db.begin() as retry:
+            db.insert(retry, "T", (2,))
+        assert [t.values for t in db.scan("T")] == [(2,)]
+
+    def test_failure_during_lo_commit(self, db):
+        flaky = db.storage_manager("flaky")
+        txn = db.begin()
+        designator = db.lo.create(txn, "fchunk", smgr="flaky")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(bytes(50_000))
+        flaky.fail_after = flaky.writes_seen + 2  # die mid-force
+        with pytest.raises(StorageManagerError):
+            txn.commit()
+        from repro.txn.xlog import TxnStatus
+        assert db.clog.status(txn.xid) != TxnStatus.COMMITTED
+        flaky.fail_after = None  # heal the device for teardown
+        db.tm.abort(txn)
+
+    def test_failure_during_eviction_surfaces(self, db):
+        """A mid-transaction eviction writeback that fails raises at the
+        operation that triggered it — not silently."""
+        small = Database(pool_size=8)
+        small.switch.register(
+            "flaky", lambda: FailingStorageManager(small.clock))
+        try:
+            small.create_class("T", [("pad", "text")], smgr="flaky")
+            flaky = small.storage_manager("flaky")
+            flaky.fail_after = 0
+            txn = small.begin()
+            with pytest.raises(StorageManagerError):
+                for i in range(200):  # overflow the 8-page pool
+                    small.insert(txn, "T", ("x" * 2000,))
+        finally:
+            flaky.fail_after = None
+            small.close()
+
+    def test_reads_unaffected_by_write_failures(self, db):
+        db.create_class("T", [("v", "int4")], smgr="flaky")
+        with db.begin() as txn:
+            db.insert(txn, "T", (7,))
+        flaky = db.storage_manager("flaky")
+        flaky.fail_after = 0
+        assert [t.values for t in db.scan("T")] == [(7,)]
+        flaky.fail_after = None

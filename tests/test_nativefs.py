@@ -1,0 +1,118 @@
+"""Unit tests for the native file system (the u-file/p-file substrate)."""
+
+import pytest
+
+from repro.errors import FileNotFound, StorageManagerError
+from repro.lo.nativefs import NativeFileSystem
+from repro.sim import SimClock
+
+
+@pytest.fixture(params=["memory", "real"])
+def fs(request, tmp_path):
+    root = str(tmp_path / "files") if request.param == "real" else None
+    return NativeFileSystem(SimClock(), root=root)
+
+
+class TestNamespace:
+    def test_create_exists_unlink(self, fs):
+        assert not fs.exists("a")
+        fs.create("a")
+        assert fs.exists("a")
+        assert fs.size("a") == 0
+        fs.unlink("a")
+        assert not fs.exists("a")
+
+    def test_create_idempotent(self, fs):
+        fs.create("a")
+        fs.write_at("a", 0, b"data")
+        fs.create("a")
+        assert fs.size("a") == 4
+
+    def test_unlink_missing_is_noop(self, fs):
+        fs.unlink("never-existed")
+
+    def test_missing_file_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.size("ghost")
+        with pytest.raises(FileNotFound):
+            fs.read_at("ghost", 0, 10)
+        with pytest.raises(FileNotFound):
+            fs.write_at("ghost", 0, b"x")
+
+    def test_slash_names_are_namespaced(self, fs):
+        fs.create("pg_pfiles/1")
+        fs.create("pg_pfiles/2")
+        assert fs.exists("pg_pfiles/1")
+        fs.unlink("pg_pfiles/1")
+        assert fs.exists("pg_pfiles/2")
+
+
+class TestByteIO:
+    def test_roundtrip(self, fs):
+        fs.create("f")
+        fs.write_at("f", 0, b"hello world")
+        assert fs.read_at("f", 0, 11) == b"hello world"
+        assert fs.read_at("f", 6, 5) == b"world"
+
+    def test_short_read_at_eof(self, fs):
+        fs.create("f")
+        fs.write_at("f", 0, b"abc")
+        assert fs.read_at("f", 2, 100) == b"c"
+        assert fs.read_at("f", 50, 10) == b""
+
+    def test_gap_write_zero_fills(self, fs):
+        fs.create("f")
+        fs.write_at("f", 10, b"xy")
+        assert fs.size("f") == 12
+        assert fs.read_at("f", 0, 12) == bytes(10) + b"xy"
+
+    def test_overwrite_middle(self, fs):
+        fs.create("f")
+        fs.write_at("f", 0, b"aaaaaaaa")
+        fs.write_at("f", 3, b"BB")
+        assert fs.read_at("f", 0, 8) == b"aaaBBaaa"
+
+    def test_negative_offset_rejected(self, fs):
+        fs.create("f")
+        with pytest.raises(StorageManagerError):
+            fs.read_at("f", -1, 4)
+        with pytest.raises(StorageManagerError):
+            fs.write_at("f", -1, b"x")
+
+    def test_io_charges_clock(self, fs):
+        fs.create("f")
+        fs.write_at("f", 0, b"x" * 100_000)
+        assert fs.clock.elapsed > 0
+        assert fs.stats()["writes"] == 1
+
+    def test_sequential_cheaper_than_scattered(self, fs):
+        fs.create("f")
+        fs.write_at("f", 0, bytes(200_000))
+        snap = fs.clock.snapshot()
+        for i in range(10):
+            fs.read_at("f", i * 4096, 4096)
+        sequential = snap.since(fs.clock).elapsed
+        snap = fs.clock.snapshot()
+        for i in (40, 3, 27, 11, 35, 8, 19, 45, 1, 30):
+            fs.read_at("f", i * 4096, 4096)
+        scattered = snap.since(fs.clock).elapsed
+        assert scattered > sequential * 2
+
+
+class TestRealBacking:
+    def test_survives_new_instance(self, tmp_path):
+        root = str(tmp_path / "files")
+        first = NativeFileSystem(SimClock(), root=root)
+        first.create("persist")
+        first.write_at("persist", 0, b"still here")
+        second = NativeFileSystem(SimClock(), root=root)
+        assert second.read_at("persist", 0, 10) == b"still here"
+
+    def test_path_traversal_neutralized(self, tmp_path):
+        root = str(tmp_path / "files")
+        fs = NativeFileSystem(SimClock(), root=root)
+        fs.create("../../etc/passwd")
+        import os
+        assert not os.path.exists(str(tmp_path / "etc"))
+        listed = os.listdir(root)
+        assert len(listed) == 1

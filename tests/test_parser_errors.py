@@ -1,0 +1,100 @@
+"""Negative-path coverage for the mini-POSTQUEL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ql.lexer import tokenize
+from repro.ql.parser import parse
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        kinds = [t.kind for t in tokenize('retrieve (EMP.age) where 1.5')]
+        assert kinds == ["keyword", "op", "name", "op", "name", "op",
+                         "keyword", "float", "eof"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_scientific_notation(self):
+        assert tokenize("1e5")[0].kind == "float"
+        assert tokenize("2.5e-3")[0].kind == "float"
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("RETRIEVE")[0].is_keyword("retrieve")
+        assert tokenize("Where")[0].is_keyword("where")
+
+    def test_names_keep_case(self):
+        assert tokenize("EMP")[0].value == "EMP"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("retrieve @")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("retrieve\n  (EMP.name)")
+        paren = tokens[1]
+        assert paren.line == 2
+        assert paren.column == 2
+
+
+@pytest.mark.parametrize("bad", [
+    "create EMP",                           # missing column list
+    "create EMP ()",                        # empty column list
+    "create EMP (name text)",               # missing '='
+    "create large type T",                  # missing clause list
+    "create type T (input = f)",            # small ADTs not via QL
+    "append EMP",                           # missing assignments
+    "append EMP (name)",                    # assignment without value
+    "retrieve EMP.name",                    # targets need parentheses
+    "retrieve ()",                          # empty target list
+    "retrieve (EMP.name) from",             # dangling from
+    "retrieve (EMP.name) where",            # dangling where
+    "retrieve (EMP.name) sort",             # sort without by
+    'retrieve (EMP.name) from EMP["a"]',    # unparseable stamp
+    'retrieve (EMP.name) from EMP["1","2","3"]',  # too many stamps
+    "retrieve (EMP.name))",                 # trailing paren
+    "replace EMP where EMP.a = 1",          # replace without assignments
+    "delete",                               # missing class
+    "destroy",                              # missing class
+    "define index x on EMP",                # missing attribute parens
+    "define x on EMP (a)",                  # 'define' needs 'index'
+    "retrieve (1 +)",                       # dangling operator
+    "retrieve (EMP.)",                      # dangling attribute
+    "retrieve (foo(1,))",                   # dangling comma in args
+    "retrieve (EMP.name",                   # unclosed paren
+    "retrieve (\"x\"::)",                   # dangling cast
+    ";",                                    # empty statement
+])
+def test_rejected_syntax(bad):
+    with pytest.raises(ParseError):
+        parse(bad)
+
+
+class TestParserAccepts:
+    """Round-trip sanity for constructs with tricky grammar."""
+
+    @pytest.mark.parametrize("good", [
+        'retrieve (EMP.name)',
+        'retrieve (x = 1 + 2 * 3 - -4)',
+        'retrieve (f(g(1), "s"::rect))',
+        'retrieve (EMP.a) where not (EMP.b = 1 or EMP.c = 2) and EMP.d = 3',
+        'retrieve (EMP.a) from EMP["epoch", "now"] where EMP.b = 1 '
+        'sort by EMP.a >, EMP.b',
+        'retrieve into X (EMP.all)',
+        'create large type t (storage = v-segment, '
+        'compression = "zero-rle", input = f, output = g)',
+        'append EMP (a = 1, b = "two", c = 3.0)',
+        'define index i on C (attr)',
+        'destroy EMP;',
+    ])
+    def test_parses(self, good):
+        assert parse(good) is not None
+
+    def test_script_parses_multiple(self):
+        from repro.ql.parser import Parser
+        statements = Parser(
+            'create T (a = int4); append T (a = 1); retrieve (T.a)'
+        ).parse_script()
+        assert len(statements) == 3

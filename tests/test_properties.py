@@ -1,0 +1,194 @@
+"""Property-based tests of whole-system invariants.
+
+The heavyweight invariant: every large-object implementation, under any
+interleaving of seek/read/write, behaves exactly like a plain byte buffer
+— and for chunked implementations, committed history is immutable.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+
+# Each op: (offset_fraction, data_length or read_length, is_write)
+op_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 40_000),
+        st.integers(1, 9_000),
+        st.booleans(),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+class ReferenceBuffer:
+    """The executable spec: a growable byte buffer with zero-fill."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, offset, payload):
+        if offset > len(self.data):
+            self.data.extend(bytes(offset - len(self.data)))
+        self.data[offset:offset + len(payload)] = payload
+
+    def read(self, offset, length):
+        return bytes(self.data[offset:offset + length])
+
+    @property
+    def size(self):
+        return len(self.data)
+
+
+def pattern(i: int, length: int) -> bytes:
+    unit = bytes([i % 251 + 1, (i * 7) % 251 + 1])
+    return (unit * (length // 2 + 1))[:length]
+
+
+@pytest.mark.parametrize("impl", ["fchunk", "vsegment", "pfile"])
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=op_strategy)
+def test_property_lo_matches_reference(impl, ops):
+    """Random mixed I/O agrees byte-for-byte with the reference buffer."""
+    db = Database(charge_cpu=False)
+    try:
+        txn = db.begin()
+        designator = (db.lo.create(txn, impl)
+                      if impl != "pfile" else db.lo.newfilename(txn))
+        reference = ReferenceBuffer()
+        with db.lo.open(designator, txn, "rw") as obj:
+            for i, (offset, length, is_write) in enumerate(ops):
+                if is_write:
+                    payload = pattern(i, length)
+                    obj.seek(offset)
+                    obj.write(payload)
+                    reference.write(offset, payload)
+                else:
+                    obj.seek(offset)
+                    got = obj.read(length)
+                    assert got == reference.read(offset, length)
+            assert obj.size() == reference.size
+            obj.seek(0)
+            assert obj.read() == bytes(reference.data)
+        txn.commit()
+        # Committed contents identical through a fresh descriptor.
+        with db.lo.open(designator) as obj:
+            assert obj.read() == bytes(reference.data)
+    finally:
+        db.close()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    generations=st.lists(
+        st.lists(st.tuples(st.integers(0, 30_000), st.integers(1, 6_000)),
+                 min_size=1, max_size=3),
+        min_size=1, max_size=4),
+)
+def test_property_history_is_immutable(generations):
+    """After each committed generation of writes, that state stays
+    readable forever at its timestamp (f-chunk time travel)."""
+    db = Database(charge_cpu=False)
+    try:
+        with db.begin() as txn:
+            designator = db.lo.create(txn, "fchunk")
+        reference = ReferenceBuffer()
+        snapshots = []
+        for gen, writes in enumerate(generations):
+            txn = db.begin()
+            with db.lo.open(designator, txn, "rw") as obj:
+                for i, (offset, length) in enumerate(writes):
+                    payload = pattern(gen * 100 + i, length)
+                    obj.seek(offset)
+                    obj.write(payload)
+                    reference.write(offset, payload)
+            txn.commit()
+            snapshots.append((db.clock.now(), bytes(reference.data)))
+        for stamp, expected in snapshots:
+            with db.lo.open(designator, as_of=stamp) as obj:
+                assert obj.read() == expected
+    finally:
+        db.close()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=op_strategy)
+def test_property_abort_never_leaks(ops):
+    """Any aborted write mix leaves committed contents untouched."""
+    db = Database(charge_cpu=False)
+    try:
+        with db.begin() as txn:
+            designator = db.lo.create(txn, "vsegment")
+            with db.lo.open(designator, txn, "rw") as obj:
+                obj.write(pattern(0, 20_000))
+        baseline = pattern(0, 20_000)
+        txn = db.begin()
+        with db.lo.open(designator, txn, "rw") as obj:
+            for i, (offset, length, _)in enumerate(ops):
+                obj.seek(offset)
+                obj.write(pattern(i + 1, length))
+        txn.abort()
+        with db.lo.open(designator) as obj:
+            assert obj.read() == baseline
+    finally:
+        db.close()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=st.lists(st.tuples(st.text(min_size=1, max_size=10),
+                            st.integers(-1000, 1000)),
+                  min_size=1, max_size=30),
+    doomed=st.sets(st.integers(0, 29)),
+)
+def test_property_heap_scan_equals_surviving_rows(rows, doomed):
+    """Insert rows, delete a subset, scan: exactly the survivors appear."""
+    db = Database(charge_cpu=False)
+    try:
+        db.create_class("T", [("name", "text"), ("v", "int4")])
+        tids = []
+        with db.begin() as txn:
+            for row in rows:
+                tids.append(db.insert(txn, "T", row))
+        with db.begin() as txn:
+            for index in doomed:
+                if index < len(tids):
+                    db.delete(txn, "T", tids[index])
+        survivors = sorted(
+            row for i, row in enumerate(rows) if i not in doomed)
+        assert sorted(t.values for t in db.scan("T")) == survivors
+    finally:
+        db.close()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    paths=st.lists(
+        st.text(alphabet="abcd", min_size=1, max_size=4),
+        min_size=1, max_size=8, unique=True),
+)
+def test_property_inversion_listing_matches_model(paths):
+    """Created files appear in listings; unlinked ones vanish."""
+    db = Database(charge_cpu=False)
+    try:
+        fs = db.inversion
+        with db.begin() as txn:
+            for name in paths:
+                fs.write_file(txn, f"/{name}", name.encode())
+        assert fs.listdir("/") == sorted(paths)
+        kept = paths[::2]
+        with db.begin() as txn:
+            for name in paths:
+                if name not in kept:
+                    fs.unlink(txn, f"/{name}")
+        assert fs.listdir("/") == sorted(kept)
+        for name in kept:
+            assert fs.read_file(f"/{name}") == name.encode()
+    finally:
+        db.close()

@@ -1,0 +1,140 @@
+"""Unit and property tests for schemas and the record codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.access.schema import Attribute, Schema, scalar_codec
+from repro.errors import SchemaError
+
+
+def emp_schema():
+    return Schema([
+        Attribute("name", "text"),
+        Attribute("salary", "float8"),
+        Attribute("age", "int4"),
+        Attribute("photo", "bytea"),
+    ])
+
+
+class TestSchemaBasics:
+    def test_names_and_positions(self):
+        schema = emp_schema()
+        assert schema.names() == ["name", "salary", "age", "photo"]
+        assert schema.position("age") == 2
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            emp_schema().position("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", "int4"), Attribute("a", "text")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_type_rejected(self):
+        schema = Schema([Attribute("x", "imaginary")])
+        with pytest.raises(SchemaError):
+            schema.encode(("v",))
+
+    def test_storage_type_override(self):
+        attr = Attribute("picture", "image", storage_type="oid")
+        assert attr.codec().name == "oid"
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        schema = emp_schema()
+        record = ("Joe", 50_000.0, 42, b"\x89PNG...")
+        assert schema.decode(schema.encode(record)) == record
+
+    def test_nulls(self):
+        schema = emp_schema()
+        record = ("Joe", None, None, b"")
+        assert schema.decode(schema.encode(record)) == record
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            emp_schema().encode(("Joe", 1.0))
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            emp_schema().encode((42, 1.0, 1, b""))
+
+    def test_int4_range_checked(self):
+        schema = Schema([Attribute("x", "int4")])
+        with pytest.raises(SchemaError):
+            schema.encode((2**40,))
+
+    def test_int8_roundtrip_large(self):
+        schema = Schema([Attribute("x", "int8")])
+        assert schema.decode(schema.encode((2**62,))) == (2**62,)
+
+    def test_bool(self):
+        schema = Schema([Attribute("x", "bool")])
+        assert schema.decode(schema.encode((True,))) == (True,)
+        assert schema.decode(schema.encode((False,))) == (False,)
+
+    def test_unicode_text(self):
+        schema = Schema([Attribute("x", "text")])
+        value = ("naïve — ünïcodé ✓",)
+        assert schema.decode(schema.encode(value)) == value
+
+    def test_truncated_record_rejected(self):
+        schema = emp_schema()
+        data = schema.encode(("Joe", 1.0, 2, b"abc"))
+        with pytest.raises(SchemaError):
+            schema.decode(data[:-2])
+
+    def test_arity_mismatch_on_decode(self):
+        one = Schema([Attribute("x", "int4")])
+        two = Schema([Attribute("x", "int4"), Attribute("y", "int4")])
+        with pytest.raises(SchemaError):
+            two.decode(one.encode((1,)))
+
+    def test_catalog_roundtrip(self):
+        schema = emp_schema()
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+
+class TestScalarCodecs:
+    @pytest.mark.parametrize("name,value", [
+        ("int4", -2**31), ("int4", 2**31 - 1),
+        ("int8", -2**63), ("int8", 2**63 - 1),
+        ("oid", 123456789), ("float8", 3.14159),
+        ("text", ""), ("text", "hello"),
+        ("name", "EMP"), ("bytea", b"\x00\xff" * 10),
+    ])
+    def test_roundtrip(self, name, value):
+        codec = scalar_codec(name)
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_unknown_codec(self):
+        with pytest.raises(SchemaError):
+            scalar_codec("varchar2")
+
+
+record_strategy = st.tuples(
+    st.one_of(st.none(), st.text(max_size=50)),
+    st.one_of(st.none(), st.floats(allow_nan=False)),
+    st.one_of(st.none(), st.integers(-2**31, 2**31 - 1)),
+    st.one_of(st.none(), st.binary(max_size=200)),
+)
+
+
+@given(record_strategy)
+def test_property_record_roundtrip(record):
+    schema = emp_schema()
+    assert schema.decode(schema.encode(record)) == record
+
+
+@given(st.lists(record_strategy, min_size=1, max_size=5))
+def test_property_concatenation_safe(records):
+    """Encoded records are self-delimiting enough to never cross-decode."""
+    schema = emp_schema()
+    for record in records:
+        encoded = schema.encode(record)
+        assert schema.decode(encoded) == record

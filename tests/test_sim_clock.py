@@ -1,0 +1,148 @@
+"""Unit tests for the simulated clock and device cost models."""
+
+import pytest
+
+from repro.sim import (
+    CpuModel,
+    SimClock,
+    jukebox_device,
+    magnetic_disk_device,
+    nvram_device,
+)
+from repro.sim.devices import DevicePort
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().elapsed == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5, "io.read")
+        clock.advance(0.5, "io.read")
+        clock.advance(2.0, "cpu")
+        assert clock.elapsed == pytest.approx(4.0)
+        assert clock.elapsed_in("io.read") == pytest.approx(2.0)
+        assert clock.elapsed_in("cpu") == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_now_is_strictly_monotone(self):
+        clock = SimClock()
+        stamps = [clock.now() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_now_reflects_advances(self):
+        clock = SimClock()
+        t1 = clock.now()
+        clock.advance(10.0)
+        assert clock.now() > t1 + 9.9
+
+    def test_snapshot_delta(self):
+        clock = SimClock()
+        clock.advance(1.0, "io.read")
+        snap = clock.snapshot()
+        clock.advance(2.0, "io.read")
+        clock.advance(3.0, "cpu")
+        delta = snap.since(clock)
+        assert delta.elapsed == pytest.approx(5.0)
+        assert delta.by_category["io.read"] == pytest.approx(2.0)
+        assert delta.by_category["cpu"] == pytest.approx(3.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.reset()
+        assert clock.elapsed == 0.0
+        assert clock.breakdown() == {}
+
+    def test_elapsed_in_unknown_category_is_zero(self):
+        assert SimClock().elapsed_in("nope") == 0.0
+
+
+class TestDeviceModels:
+    def test_disk_sequential_is_transfer_only(self):
+        model = magnetic_disk_device()
+        positioning, transfer = model.access_time(True, 8192, False)
+        assert positioning == 0.0
+        assert transfer == pytest.approx(8192 / model.transfer_bytes_per_s)
+
+    def test_disk_random_pays_seek(self):
+        model = magnetic_disk_device()
+        positioning, _ = model.access_time(False, 8192, False)
+        assert positioning == pytest.approx(
+            model.avg_seek_s + model.rotational_s)
+
+    def test_nvram_has_no_positioning_cost(self):
+        model = nvram_device()
+        positioning, _ = model.access_time(False, 8192, False)
+        assert positioning == 0.0
+
+    def test_jukebox_write_penalty(self):
+        model = jukebox_device()
+        _, read_t = model.access_time(True, 8192, False)
+        _, write_t = model.access_time(True, 8192, True)
+        assert write_t == pytest.approx(read_t * model.write_penalty)
+
+    def test_jukebox_platter_switch(self):
+        model = jukebox_device()
+        positioning, _ = model.access_time(True, 8192, False,
+                                           crossed_platter=True)
+        assert positioning >= model.platter_switch_s
+
+
+class TestDevicePort:
+    def test_sequential_reads_skip_seeks(self):
+        clock = SimClock()
+        port = DevicePort(magnetic_disk_device(), clock)
+        port.charge_read("f", 0, 8192)
+        first = clock.elapsed
+        port.charge_read("f", 8192, 8192)
+        second = clock.elapsed - first
+        assert second < first  # no second seek
+
+    def test_random_reads_pay_seeks(self):
+        clock = SimClock()
+        port = DevicePort(magnetic_disk_device(), clock)
+        port.charge_read("f", 0, 8192)
+        port.charge_read("f", 10 * 8192, 8192)
+        assert port.seeks == 2
+
+    def test_file_switch_breaks_sequentiality(self):
+        clock = SimClock()
+        port = DevicePort(magnetic_disk_device(), clock)
+        port.charge_read("a", 0, 8192)
+        port.charge_read("b", 8192, 8192)
+        assert port.seeks == 2
+
+    def test_platter_switch_counted(self):
+        clock = SimClock()
+        model = jukebox_device()
+        port = DevicePort(model, clock)
+        port.charge_read("m", 0, 8192)
+        port.charge_read("m", model.platter_bytes + 8192, 8192)
+        assert port.platter_switches == 1
+        assert clock.elapsed > model.platter_switch_s
+
+    def test_stats_counters(self):
+        clock = SimClock()
+        port = DevicePort(magnetic_disk_device(), clock)
+        port.charge_read("f", 0, 8192)
+        port.charge_write("f", 8192, 8192)
+        stats = port.stats()
+        assert stats["reads"] == 1
+        assert stats["writes"] == 1
+
+
+class TestCpuModel:
+    def test_seconds_for(self):
+        cpu = CpuModel(mips=10.0)
+        assert cpu.seconds_for(10e6) == pytest.approx(1.0)
+
+    def test_charge(self):
+        clock = SimClock()
+        CpuModel(mips=1.0).charge(clock, 2e6)
+        assert clock.elapsed_in("cpu") == pytest.approx(2.0)

@@ -1,0 +1,251 @@
+"""Stateful (model-based) hypothesis tests.
+
+Hypothesis drives long random operation sequences against the Inversion
+file system and a large object, checking after every step that the system
+agrees with a trivially-correct in-memory model.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.db import Database
+
+NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta", "data.bin"])
+CONTENT = st.binary(min_size=0, max_size=3000)
+
+
+class InversionModel(RuleBasedStateMachine):
+    """Inversion vs a dict of path -> bytes (directories implicit)."""
+
+    @initialize()
+    def setup(self):
+        self.db = Database(charge_cpu=False)
+        self.fs = self.db.inversion
+        self.files: dict[str, bytes] = {}
+        self.dirs: set[str] = set()
+
+    def teardown(self):
+        self.db.close()
+
+    def _parent_exists(self, directory: str) -> bool:
+        return directory == "" or directory in self.dirs
+
+    @rule(directory=NAMES)
+    def mkdir(self, directory):
+        path = f"/{directory}"
+        if path in self.dirs or path in self.files:
+            return
+        with self.db.begin() as txn:
+            self.fs.mkdir(txn, path)
+        self.dirs.add(path)
+
+    @rule(directory=st.one_of(st.just(""), NAMES), name=NAMES,
+          content=CONTENT)
+    def write(self, directory, name, content):
+        prefix = f"/{directory}" if directory else ""
+        if prefix and prefix not in self.dirs:
+            return
+        path = f"{prefix}/{name}"
+        if path in self.dirs:
+            return
+        with self.db.begin() as txn:
+            self.fs.write_file(txn, path, content)
+        self.files[path] = content
+
+    @rule(content=CONTENT)
+    def aborted_write_changes_nothing(self, content):
+        if not self.files:
+            return
+        path = next(iter(self.files))
+        txn = self.db.begin()
+        with self.fs.open(path, txn, "rw") as handle:
+            handle.write(content + b"!")
+        txn.abort()
+
+    @rule()
+    def unlink_one(self):
+        if not self.files:
+            return
+        path = sorted(self.files)[0]
+        with self.db.begin() as txn:
+            self.fs.unlink(txn, path)
+        del self.files[path]
+
+    @rule(src_name=NAMES, dst_name=NAMES)
+    def rename_toplevel(self, src_name, dst_name):
+        src, dst = f"/{src_name}", f"/{dst_name}"
+        if src not in self.files or dst in self.files or dst in self.dirs:
+            return
+        with self.db.begin() as txn:
+            self.fs.rename(txn, src, dst)
+        self.files[dst] = self.files.pop(src)
+
+    @invariant()
+    def contents_match_model(self):
+        if not hasattr(self, "fs"):
+            return
+        for path, expected in self.files.items():
+            assert self.fs.read_file(path) == expected
+
+    @invariant()
+    def listings_match_model(self):
+        if not hasattr(self, "fs"):
+            return
+        expected_top = {p[1:] for p in self.files if p.count("/") == 1}
+        expected_top |= {d[1:] for d in self.dirs}
+        assert set(self.fs.listdir("/")) == expected_top
+
+
+class LargeObjectModel(RuleBasedStateMachine):
+    """One v-segment object vs a plain bytearray, across transactions."""
+
+    @initialize()
+    def setup(self):
+        self.db = Database(charge_cpu=False)
+        with self.db.begin() as txn:
+            self.designator = self.db.lo.create(
+                txn, "vsegment", compression="zero-rle")
+        self.model = bytearray()
+        self.txn = None
+        self.handle = None
+
+    def teardown(self):
+        if self.handle is not None and not self.handle.closed:
+            self.handle.close()
+        if self.txn is not None and self.txn.is_active:
+            self.txn.abort()
+        self.db.close()
+
+    @precondition(lambda self: self.txn is None)
+    @rule()
+    def begin(self):
+        self.txn = self.db.begin()
+        self.handle = self.db.lo.open(self.designator, self.txn, "rw")
+        self.pending = bytearray(self.model)
+
+    @precondition(lambda self: self.txn is not None)
+    @rule(offset=st.integers(0, 30_000), data=st.binary(min_size=1,
+                                                        max_size=5000))
+    def write(self, offset, data):
+        self.handle.seek(offset)
+        self.handle.write(data)
+        if offset > len(self.pending):
+            self.pending.extend(bytes(offset - len(self.pending)))
+        self.pending[offset:offset + len(data)] = data
+
+    @precondition(lambda self: self.txn is not None)
+    @rule(offset=st.integers(0, 35_000), length=st.integers(1, 8000))
+    def read_inside_txn(self, offset, length):
+        self.handle.seek(offset)
+        assert self.handle.read(length) == \
+            bytes(self.pending[offset:offset + length])
+
+    @precondition(lambda self: self.txn is not None)
+    @rule()
+    def commit(self):
+        self.handle.close()
+        self.txn.commit()
+        self.model = self.pending
+        self.txn = self.handle = None
+
+    @precondition(lambda self: self.txn is not None)
+    @rule()
+    def abort(self):
+        self.handle.close()
+        self.txn.abort()
+        self.txn = self.handle = None
+
+    @invariant()
+    def committed_state_matches_model(self):
+        if not hasattr(self, "db") or self.txn is not None:
+            return
+        with self.db.lo.open(self.designator) as obj:
+            assert obj.read() == bytes(self.model)
+
+
+TestInversionStateful = InversionModel.TestCase
+TestInversionStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None)
+
+TestLargeObjectStateful = LargeObjectModel.TestCase
+TestLargeObjectStateful.settings = settings(
+    max_examples=10, stateful_step_count=20, deadline=None)
+
+
+class BTreeModel(RuleBasedStateMachine):
+    """The disk B-tree vs a sorted multiset of (key, value) pairs."""
+
+    keys = st.integers(-500, 500)
+
+    @initialize()
+    def setup(self):
+        from repro.access.btree import BTree
+        from repro.sim import SimClock
+        from repro.smgr import MemoryStorageManager
+        from repro.storage import BufferManager
+        self.smgr = MemoryStorageManager(SimClock())
+        self.bufmgr = BufferManager(pool_size=16)
+        self.tree = BTree("model", self.smgr, self.bufmgr, key_arity=1)
+        self.tree.create_storage()
+        self.reference: list[tuple[int, tuple[int, int]]] = []
+        self.counter = 0
+
+    @rule(key=keys)
+    def insert(self, key):
+        value = (self.counter, 0)
+        self.counter += 1
+        self.tree.insert((key,), value)
+        self.reference.append((key, value))
+
+    @rule(key=keys)
+    def insert_burst(self, key):
+        """Many duplicates at once drives leaf splits on one key."""
+        for _ in range(40):
+            value = (self.counter, 0)
+            self.counter += 1
+            self.tree.insert((key,), value)
+            self.reference.append((key, value))
+
+    @rule(key=keys)
+    def delete_key(self, key):
+        removed = self.tree.delete((key,))
+        expected = sum(1 for k, _v in self.reference if k == key)
+        assert removed == expected
+        self.reference = [(k, v) for k, v in self.reference if k != key]
+
+    @rule(key=keys)
+    def search(self, key):
+        got = sorted(self.tree.search((key,)))
+        expected = sorted(v for k, v in self.reference if k == key)
+        assert got == expected
+
+    @rule(lo=keys, hi=keys)
+    def range_scan(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        got = [(k[0], v) for k, v in self.tree.range_scan((lo,), (hi,))]
+        expected = sorted(
+            ((k, v) for k, v in self.reference if lo <= k <= hi),
+            key=lambda kv: kv[0])
+        assert sorted(got) == sorted(expected)
+        assert [k for k, _ in got] == sorted(k for k, _ in got)
+
+    @invariant()
+    def ordered_and_complete(self):
+        if not hasattr(self, "tree"):
+            return
+        self.tree.check_invariants()
+        assert self.tree.entry_count() == len(self.reference)
+
+
+TestBTreeStateful = BTreeModel.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None)
