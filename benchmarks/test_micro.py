@@ -112,6 +112,70 @@ class TestLargeObjectMicro:
         reader.close()
 
 
+@pytest.mark.perf
+class TestReadPathMicro:
+    """Sequential vs. random f-chunk reads: the streaming read path.
+
+    The pair makes the §9.2 measurement visible in wall-clock terms and
+    records the read-path counters in ``extra_info`` so they land in the
+    pytest-benchmark JSON (``--benchmark-json=BENCH_READPATH.json``).
+    """
+
+    FRAMES = 256  # a 1 MB object of 4 KB frames
+
+    def _loaded(self, db):
+        txn = db.begin()
+        designator = db.lo.create(txn, "fchunk")
+        with db.lo.open(designator, txn, "rw") as obj:
+            for i in range(self.FRAMES):
+                obj.write(frame_bytes(i, 0.0))
+        txn.commit()
+        return designator
+
+    def _record_counters(self, benchmark, db):
+        stats = db.bufmgr.stats
+        benchmark.extra_info["node_cache_hits"] = stats.node_cache_hits
+        benchmark.extra_info["node_cache_misses"] = stats.node_cache_misses
+        benchmark.extra_info["prefetched"] = stats.prefetched
+        benchmark.extra_info["prefetch_hits"] = stats.prefetch_hits
+
+    def test_fchunk_sequential_stream(self, benchmark, db):
+        designator = self._loaded(db)
+
+        def work():
+            with db.lo.open(designator) as obj:
+                total = 0
+                while True:
+                    data = obj.read(8192)
+                    if not data:
+                        return total
+                    total += len(data)
+
+        assert benchmark(work) == self.FRAMES * 4096
+        # The whole point: a sequential pass costs O(chunks / fanout)
+        # node reads, not one full descent per chunk.
+        db.bufmgr.invalidate_all()
+        before = db.bufmgr.stats.node_cache_misses
+        work()
+        node_reads = db.bufmgr.stats.node_cache_misses - before
+        nchunks = (self.FRAMES * 4096) // 8000 + 1
+        assert node_reads < nchunks / 4
+        self._record_counters(benchmark, db)
+
+    def test_fchunk_random_read(self, benchmark, db):
+        designator = self._loaded(db)
+        reader = db.lo.open(designator)
+        position = iter(range(10**9))
+
+        def work():
+            reader.seek((next(position) * 131 % self.FRAMES) * 4096)
+            return reader.read(4096)
+
+        assert len(benchmark(work)) == 4096
+        reader.close()
+        self._record_counters(benchmark, db)
+
+
 class TestInversionMicro:
     def test_path_resolution(self, benchmark, db):
         fs = db.inversion

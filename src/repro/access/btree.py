@@ -22,6 +22,18 @@ of them; readers filter by visibility.
 
 Deletion removes entries without rebalancing (as PostgreSQL does); empty
 nodes are left in place and skipped.
+
+Decoded-node cache
+------------------
+Descents used to re-parse every node page from its struct array on every
+lookup — ruinous for the streaming read path, which touches the index for
+every chunk.  Nodes are now cached in decoded form in the buffer
+manager's pool-wide side cache, keyed by ``(fileid, blockno)``: a hit
+skips the pin and the parse.  Every node write (store, split, new node)
+writes through the cache, and the pool drops entries with the file, so a
+reader can never observe a stale node — including after ``replace`` or a
+vacuum's index pruning, which both funnel through :meth:`BTree.insert` /
+:meth:`BTree.delete`.
 """
 
 from __future__ import annotations
@@ -58,6 +70,11 @@ class _Node:
         per_entry = 8 * arity + (16 if self.is_leaf else 4)
         extra_child = 0 if self.is_leaf else 4  # nkeys + 1 children
         return _NODE_HEADER.size + per_entry * len(self.keys) + extra_child
+
+    def copy(self) -> "_Node":
+        """A mutation-safe copy (entries are immutable tuples)."""
+        return _Node(is_leaf=self.is_leaf, keys=list(self.keys),
+                     values=list(self.values), right=self.right)
 
 
 class BTree:
@@ -151,7 +168,24 @@ class BTree:
         else:
             page.add_item(image)
 
-    def _read_node(self, blockno: int) -> _Node:
+    def _read_node(self, blockno: int, mutable: bool = False) -> _Node:
+        """The decoded node at *blockno*.
+
+        Served from the pool-wide decoded-node cache when possible —
+        a hit skips both the page pin and the struct re-parse, which is
+        what makes repeated descents (one per chunk, in the old read
+        path) cheap.  *mutable* callers get a private copy; the cached
+        node itself is only ever replaced through :meth:`_store_node` /
+        :meth:`_new_node`, so the cache can never serve a stale node.
+        """
+        node = self.bufmgr.get_decoded(self.smgr, self.fileid, blockno)
+        if node is not None:
+            return node.copy() if mutable else node
+        node = self._decode_node(blockno)
+        self.bufmgr.put_decoded(self.smgr, self.fileid, blockno, node)
+        return node.copy() if mutable else node
+
+    def _decode_node(self, blockno: int) -> _Node:
         with self.bufmgr.page(self.smgr, self.fileid, blockno) as page:
             image = page.get_item(0)
         is_leaf, _pad, nentries, right = _NODE_HEADER.unpack_from(image, 0)
@@ -182,11 +216,16 @@ class BTree:
         with self.bufmgr.page(self.smgr, self.fileid, blockno,
                               write=True) as page:
             self._write_node(page, node)
+        # Write-through: the cache always mirrors the page just written.
+        self.bufmgr.put_decoded(self.smgr, self.fileid, blockno,
+                                node.copy())
 
     def _new_node(self, node: _Node) -> int:
         buf = self.bufmgr.allocate(self.smgr, self.fileid)
         try:
             self._write_node(buf.page, node)
+            self.bufmgr.put_decoded(self.smgr, self.fileid, buf.blockno,
+                                    node.copy())
             return buf.blockno
         finally:
             self.bufmgr.unpin(buf, dirty=True)
@@ -218,7 +257,7 @@ class BTree:
     def _insert_into(self, blockno: int, key: Key,
                      value: Value) -> tuple[Key, int] | None:
         """Recursive insert; returns (separator, new right block) on split."""
-        node = self._read_node(blockno)
+        node = self._read_node(blockno, mutable=True)
         if node.is_leaf:
             pos = bisect.bisect_right(node.keys, key)
             node.keys.insert(pos, key)
@@ -265,7 +304,8 @@ class BTree:
 
     # -- lookup ---------------------------------------------------------------------------
 
-    def _find_leaf(self, key: Key) -> tuple[int, _Node]:
+    def _find_leaf(self, key: Key,
+                   mutable: bool = False) -> tuple[int, _Node]:
         """The leftmost leaf that can contain *key*.
 
         Descends with ``bisect_left`` so that, with duplicate keys spanning
@@ -277,6 +317,8 @@ class BTree:
         while not node.is_leaf:
             blockno = node.values[bisect.bisect_left(node.keys, key)][0]
             node = self._read_node(blockno)
+        if mutable:
+            node = node.copy()
         return blockno, node
 
     def search(self, key: Key) -> list[Value]:
@@ -326,7 +368,7 @@ class BTree:
         """
         key = self._check_key(key)
         removed = 0
-        blockno, node = self._find_leaf(key)
+        blockno, node = self._find_leaf(key, mutable=True)
         while True:
             changed = False
             i = bisect.bisect_left(node.keys, key)
@@ -344,7 +386,8 @@ class BTree:
                 return removed
             if node.right < 0:
                 return removed
-            blockno, node = node.right, self._read_node(node.right)
+            blockno, node = node.right, self._read_node(node.right,
+                                                        mutable=True)
             if not node.keys or node.keys[0] > key:
                 return removed
 

@@ -38,6 +38,10 @@ from repro.txn.manager import Transaction
 from repro.txn.snapshot import Snapshot
 from repro.txn.xlog import CommitLog, TxnStatus
 
+#: Readahead window (blocks) for sequential scans: far enough ahead to
+#: batch device reads, small enough not to wash streams out of the pool.
+SCAN_PREFETCH_BLOCKS = 16
+
 
 class HeapRelation:
     """One POSTGRES class stored as a heap of versioned tuples."""
@@ -178,6 +182,43 @@ class HeapRelation:
             return tup
         return None
 
+    # -- batched reads -----------------------------------------------------------------
+
+    def prefetch_tids(self, tids) -> int:
+        """Issue readahead for the blocks a TID batch is about to pin.
+
+        Contiguous runs of two or more blocks become one
+        :meth:`~repro.storage.buffer.BufferManager.prefetch` call each
+        (readahead pays off exactly when the device would otherwise see
+        a string of single-block demand reads); isolated blocks are left
+        to demand paging.  Returns how many blocks were read ahead.
+        """
+        blocks = sorted({tid.blockno for tid in tids})
+        fetched = 0
+        run_start = None
+        previous = None
+        for blockno in blocks + [None]:
+            if run_start is not None and blockno == previous + 1:
+                previous = blockno
+                continue
+            if run_start is not None and previous > run_start:
+                fetched += self.bufmgr.prefetch(
+                    self.smgr, self.fileid, run_start,
+                    previous - run_start + 1)
+            run_start = previous = blockno
+        return fetched
+
+    def fetch_many(self, tids, snapshot: Snapshot) -> list[HeapTuple]:
+        """Visible tuples among *tids*, in input order, with readahead."""
+        tids = list(tids)
+        self.prefetch_tids(tids)
+        out = []
+        for tid in tids:
+            tup = self.fetch(tid, snapshot)
+            if tup is not None:
+                out.append(tup)
+        return out
+
     # -- delete / replace ------------------------------------------------------------------
 
     def delete(self, txn: Transaction, tid: TID) -> None:
@@ -221,8 +262,15 @@ class HeapRelation:
                 yield tup
 
     def scan_versions(self) -> Iterator[HeapTuple]:
-        """Every stored version, visible or not (vacuum, debugging)."""
+        """Every stored version, visible or not (vacuum, debugging).
+
+        Issues windowed readahead so a sequential scan's device reads
+        arrive in batches instead of one demand miss per page.
+        """
         for blockno in range(self.nblocks()):
+            if blockno % SCAN_PREFETCH_BLOCKS == 0:
+                self.bufmgr.prefetch(self.smgr, self.fileid, blockno,
+                                     SCAN_PREFETCH_BLOCKS)
             with self.bufmgr.page(self.smgr, self.fileid, blockno) as page:
                 slots = page.live_slots()
                 images = [(s, page.get_item(s)) for s in slots]

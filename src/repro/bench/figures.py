@@ -136,6 +136,19 @@ def cool_down(db: Database) -> None:
             sync_all()
 
 
+def readpath_note(label: str, db: Database) -> str:
+    """One-line read-path counter summary for a figure column.
+
+    Makes the streaming-read machinery observable in the bench output:
+    decoded B-tree node cache hits/misses (misses ≈ node *reads*) and
+    readahead issued/used by the buffer pool.
+    """
+    stats = db.bufmgr.stats
+    return (f"{label}: btree node cache {stats.node_cache_hits}h/"
+            f"{stats.node_cache_misses}m, prefetch "
+            f"{stats.prefetch_hits}/{stats.prefetched} used")
+
+
 def run_operation(db: Database, designator: str, op: Operation,
                   workload: Workload, fraction: float,
                   generation: int) -> float:
@@ -213,6 +226,7 @@ def run_figure2(config: BenchConfig | None = None) -> FigureResult:
                 seconds = run_operation(db, designator, op, workload,
                                         fraction, generation)
                 figure.set(op.name, label, seconds)
+            figure.notes.append(readpath_note(label, db))
         finally:
             db.close()
     return figure
@@ -268,6 +282,7 @@ def run_figure3(config: BenchConfig | None = None) -> FigureResult:
                 seconds = run_operation(db, designator, op, workload,
                                         fraction, generation=0)
                 figure.set(op.name, label, seconds)
+            figure.notes.append(readpath_note(label, db))
         finally:
             db.close()
     return figure

@@ -502,6 +502,10 @@ class Database:
                 "hit_rate": self.bufmgr.stats.hit_rate(),
                 "evictions": self.bufmgr.stats.evictions,
                 "writebacks": self.bufmgr.stats.writebacks,
+                "prefetched": self.bufmgr.stats.prefetched,
+                "prefetch_hits": self.bufmgr.stats.prefetch_hits,
+                "node_cache_hits": self.bufmgr.stats.node_cache_hits,
+                "node_cache_misses": self.bufmgr.stats.node_cache_misses,
                 "pool_size": self.bufmgr.pool_size,
             },
             "storage": storage,

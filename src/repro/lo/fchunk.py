@@ -38,6 +38,7 @@ along with the chunks.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.access.tuples import TID, HeapTuple
@@ -51,6 +52,12 @@ from repro.txn.snapshot import Snapshot
 
 if TYPE_CHECKING:
     from repro.db import Database
+
+
+#: Decompressed chunks kept per descriptor (~64 KB): enough that
+#: re-reads and short backward seeks never re-inflate, small enough to
+#: stay irrelevant next to the buffer pool.
+READ_CACHE_CHUNKS = 8
 
 
 def chunk_class_name(oid: int) -> str:
@@ -93,11 +100,11 @@ class FChunkObject(LargeObject):
         self._buf_data = bytearray()
         self._buf_dirty = False
         self._pending_size: int | None = None
-        # Descriptor-level cache of the last chunk decompressed by a read,
-        # so streaming reads uncompress each chunk once ("just-in-time"
-        # conversion without repeating work for every frame in a chunk).
-        self._read_seqno: int | None = None
-        self._read_data: bytes | None = None
+        # Descriptor-level LRU of decompressed chunks, so streaming reads
+        # uncompress each chunk once ("just-in-time" conversion without
+        # repeating work for every frame in a chunk) and backward seeks
+        # within the window never re-inflate.
+        self._read_cache: OrderedDict[int, bytes] = OrderedDict()
         if writable:
             self._pending_size = self._read_size(self._snapshot())
             txn.before_commit.append(self.flush)
@@ -157,13 +164,53 @@ class FChunkObject(LargeObject):
         """Chunk contents, honouring this descriptor's buffers."""
         if seqno == self._buf_seqno:
             return bytes(self._buf_data)
-        if seqno == self._read_seqno:
-            return self._read_data
+        cached = self._read_cache.get(seqno)
+        if cached is not None:
+            self._read_cache.move_to_end(seqno)
+            return cached
         data = self._stored_chunk_bytes(seqno, snapshot)
         if data is not None:
-            self._read_seqno = seqno
-            self._read_data = data
+            self._cache_chunk(seqno, data)
         return data
+
+    def _cache_chunk(self, seqno: int, data: bytes) -> None:
+        self._read_cache[seqno] = data
+        self._read_cache.move_to_end(seqno)
+        while len(self._read_cache) > READ_CACHE_CHUNKS:
+            self._read_cache.popitem(last=False)
+
+    def _visible_chunk_tuples(self, seqnos: list[int],
+                              snapshot: Snapshot) -> dict[int, HeapTuple]:
+        """Visible chunk versions for *seqnos* via one index range scan.
+
+        This is the streaming read path: instead of one full root-to-leaf
+        descent per chunk, a single descent finds the first leaf and the
+        scan walks right-sibling pointers across ``[min, max]``, so a
+        long read costs O(chunks / leaf fanout) node reads.  The heap
+        blocks the scan resolved to are read ahead before the fetch loop
+        pins them.
+        """
+        wanted = set(seqnos)
+        candidates: dict[int, list[TID]] = {}
+        for (seqno,), (blockno, slot) in self.index.range_scan(
+                (min(wanted),), (max(wanted),)):
+            if seqno in wanted:
+                candidates.setdefault(seqno, []).append(TID(blockno, slot))
+        self.relation.prefetch_tids(
+            [tid for tids in candidates.values() for tid in tids])
+        out: dict[int, HeapTuple] = {}
+        for seqno, tids in candidates.items():
+            visible = [tup for tid in tids
+                       if (tup := self.relation.fetch(tid, snapshot))
+                       is not None]
+            if not visible:
+                continue
+            if len(visible) > 1:
+                raise LargeObjectError(
+                    f"large object {self.oid}: {len(visible)} visible "
+                    f"versions of chunk {seqno} (snapshot anomaly)")
+            out[seqno] = visible[0]
+        return out
 
     # -- write buffer ------------------------------------------------------------------
 
@@ -206,13 +253,10 @@ class FChunkObject(LargeObject):
         if self._buf_seqno == seqno:
             return
         self._flush_chunk()
-        if seqno == self._read_seqno:
-            stored = self._read_data
-        else:
+        # The write buffer supersedes any cached copy of this chunk.
+        stored = self._read_cache.pop(seqno, None)
+        if stored is None:
             stored = self._stored_chunk_bytes(seqno, snapshot)
-        if self._read_seqno is not None:
-            self._read_seqno = None  # the write buffer supersedes it
-            self._read_data = None
         self._buf_seqno = seqno
         self._buf_data = bytearray(stored if stored is not None else b"")
         self._buf_dirty = False
@@ -230,11 +274,32 @@ class FChunkObject(LargeObject):
             return b""
         end = min(offset + nbytes, size)
         payload = self.chunk_payload
+        first = offset // payload
+        last = (end - 1) // payload
+        # Gather the covered chunks: descriptor buffers first, then one
+        # batched index range scan for whatever is left — never one
+        # B-tree descent per chunk.
+        chunks: dict[int, bytes] = {}
+        missing: list[int] = []
+        for seqno in range(first, last + 1):
+            if seqno == self._buf_seqno:
+                chunks[seqno] = bytes(self._buf_data)
+            else:
+                cached = self._read_cache.get(seqno)
+                if cached is not None:
+                    self._read_cache.move_to_end(seqno)
+                    chunks[seqno] = cached
+                else:
+                    missing.append(seqno)
+        if missing:
+            fetched = self._visible_chunk_tuples(missing, snapshot)
+            for seqno, tup in fetched.items():
+                data = self.compressor.decompress(tup.values[1])
+                self._cache_chunk(seqno, data)
+                chunks[seqno] = data
         parts = []
-        for seqno in range(offset // payload, (end - 1) // payload + 1):
-            chunk = self._chunk_bytes(seqno, snapshot)
-            if chunk is None:
-                chunk = b""
+        for seqno in range(first, last + 1):
+            chunk = chunks.get(seqno, b"")
             chunk_start = seqno * payload
             lo = max(0, offset - chunk_start)
             hi = min(len(chunk), end - chunk_start)
@@ -297,8 +362,7 @@ class FChunkObject(LargeObject):
             tup = self._chunk_tuple(seqno, snapshot)
             if tup is not None:
                 self.db.delete(self.txn, self.relation.name, tup.tid)
-        self._read_seqno = None
-        self._read_data = None
+        self._read_cache.clear()
         self._pending_size = size
 
     # -- storage accounting (Figure 1) ---------------------------------------------------------

@@ -25,6 +25,7 @@ segments are merged read-modify-write style.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.access.tuples import TID, HeapTuple
@@ -43,6 +44,12 @@ if TYPE_CHECKING:
 #: lets the overlap query scan only ``[offset - SEGMENT_MAX, end)`` of the
 #: index instead of the whole object.
 SEGMENT_MAX = 65536
+
+#: Decompressed segments kept per descriptor (up to ~256 KB).  Keyed by
+#: the record's TID: segment contents are immutable once written (the
+#: byte store only grows, and an overwrite appends *new* segments under
+#: *new* TIDs), so a TID-keyed entry can never go stale.
+SEGMENT_CACHE_ENTRIES = 4
 
 
 def segment_class_name(oid: int) -> str:
@@ -80,6 +87,9 @@ class VSegmentObject(LargeObject):
         self.index = db.get_index(segment_index_name(oid))
         # Deferred size: materialized at close/commit, like f-chunk's.
         self._pending_size: int | None = None
+        # Descriptor-level LRU of decompressed segments (see
+        # SEGMENT_CACHE_ENTRIES for why TID keys are safe).
+        self._segment_cache: OrderedDict[TID, bytes] = OrderedDict()
         if writable:
             self._pending_size = self._size_row(
                 self._snapshot()).values[1]
@@ -122,12 +132,11 @@ class VSegmentObject(LargeObject):
                               snapshot: Snapshot) -> list[HeapTuple]:
         """Visible segment records intersecting ``[start, end)``, sorted."""
         lo_key = max(0, start - SEGMENT_MAX)
+        tids = [TID(blockno, slot)
+                for _key, (blockno, slot) in self.index.range_scan(
+                    (lo_key,), (end - 1,))]
         found = []
-        for _key, (blockno, slot) in self.index.range_scan(
-                (lo_key,), (end - 1,)):
-            tup = self.relation.fetch(TID(blockno, slot), snapshot)
-            if tup is None:
-                continue
+        for tup in self.relation.fetch_many(tids, snapshot):
             locn, length, _clen, _ptr = tup.values
             if locn + length > start and locn < end:
                 found.append(tup)
@@ -135,7 +144,11 @@ class VSegmentObject(LargeObject):
         return found
 
     def _segment_bytes(self, record: HeapTuple) -> bytes:
-        """Decompressed contents of one segment."""
+        """Decompressed contents of one segment (LRU-cached)."""
+        cached = self._segment_cache.get(record.tid)
+        if cached is not None:
+            self._segment_cache.move_to_end(record.tid)
+            return cached
         _locn, length, clen, ptr = record.values
         image = self.store._read_at(ptr, clen)
         data = self.compressor.decompress(image)
@@ -143,6 +156,10 @@ class VSegmentObject(LargeObject):
             raise LargeObjectError(
                 f"large object {self.oid}: segment at {record.values[0]} "
                 f"decompressed to {len(data)} bytes, index says {length}")
+        self._segment_cache[record.tid] = data
+        self._segment_cache.move_to_end(record.tid)
+        while len(self._segment_cache) > SEGMENT_CACHE_ENTRIES:
+            self._segment_cache.popitem(last=False)
         return data
 
     # -- reads ---------------------------------------------------------------------------

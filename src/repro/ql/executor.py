@@ -152,11 +152,23 @@ class Executor:
             if class_ref.as_of is None and statement.qualification is not None:
                 probe = self._find_index_probe(class_ref.name,
                                                statement.qualification)
+            rng = None
+            if (probe is None and class_ref.as_of is None
+                    and statement.qualification is not None):
+                rng = self._find_index_range(class_ref.name,
+                                             statement.qualification)
             if probe is not None:
                 index_name, key = probe
                 attribute = self.db.catalog.indexes[index_name].attribute
                 lines.append(f"index probe {index_name} on "
                              f"{class_ref.name}.{attribute} = {key}")
+            elif rng is not None:
+                index_name, attribute, lo, hi = rng
+                lines.append(
+                    f"index range scan {index_name} on "
+                    f"{class_ref.name}.{attribute} in "
+                    f"[{'-inf' if lo is None else lo}, "
+                    f"{'+inf' if hi is None else hi}]")
             else:
                 lines.append(f"sequential scan of {class_ref.name}")
             if class_ref.as_of is not None:
@@ -276,8 +288,11 @@ class Executor:
         """A heap scan, or an index probe when the qualification allows.
 
         An equality conjunct ``CLASS.attr = <integer literal>`` over an
-        indexed attribute turns the scan into an index lookup.  Historical
-        scans always walk the heap — archived versions are not indexed.
+        indexed attribute turns the scan into an index lookup, and
+        inequality conjuncts (``>=``/``<=``/``>``/``<``, alone or paired
+        BETWEEN-style) become one index range scan over the leaf chain.
+        Historical scans always walk the heap — archived versions are
+        not indexed.
         """
         if class_ref.as_of is None and qualification is not None:
             probe = self._find_index_probe(class_ref.name, qualification)
@@ -292,6 +307,27 @@ class Executor:
                     # Re-check the key: stale entries must never surface.
                     if tup is not None and tup.values[position] == key:
                         yield tup
+                return
+            rng = self._find_index_range(class_ref.name, qualification)
+            if rng is not None:
+                index_name, attribute, lo, hi = rng
+                index = self.db.get_index(index_name)
+                position = relation.schema.position(attribute)
+                from repro.access.tuples import TID
+                tids = [TID(blockno, slot)
+                        for _key, (blockno, slot) in index.range_scan(
+                            None if lo is None else (lo,),
+                            None if hi is None else (hi,))]
+                for tup in relation.fetch_many(tids, snapshot):
+                    # Re-check bounds: stale entries must never surface.
+                    value = tup.values[position]
+                    if value is None:
+                        continue
+                    if lo is not None and value < lo:
+                        continue
+                    if hi is not None and value > hi:
+                        continue
+                    yield tup
                 return
         yield from relation.scan(snapshot)
 
@@ -315,6 +351,62 @@ class Executor:
                         for entry in self.db.catalog.indexes_on(class_name):
                             if entry.attribute == ref.attribute:
                                 return entry.name, lit.value
+        return None
+
+    #: How a comparison flips when the literal is on the left.
+    _MIRRORED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _collect_bounds(self, class_name: str, qualification,
+                        bounds: dict) -> None:
+        """Accumulate attr -> [(op, int)] from top-level AND conjuncts."""
+        if not isinstance(qualification, ast.BinaryOp):
+            return
+        if qualification.op == "and":
+            self._collect_bounds(class_name, qualification.left, bounds)
+            self._collect_bounds(class_name, qualification.right, bounds)
+            return
+        if qualification.op not in self._MIRRORED:
+            return
+        for ref, lit, flipped in (
+                (qualification.left, qualification.right, False),
+                (qualification.right, qualification.left, True)):
+            if (isinstance(ref, ast.AttributeRef)
+                    and ref.class_name == class_name
+                    and isinstance(lit, ast.Literal)
+                    and isinstance(lit.value, int)
+                    and not isinstance(lit.value, bool)):
+                op = (self._MIRRORED[qualification.op] if flipped
+                      else qualification.op)
+                bounds.setdefault(ref.attribute, []).append((op, lit.value))
+
+    def _find_index_range(self, class_name: str, qualification) -> (
+            tuple[str, str, int | None, int | None] | None):
+        """(index, attribute, lo, hi) for an indexable inequality range.
+
+        Strict bounds are tightened to inclusive integer bounds (the
+        indexable attributes are integers), so ``a > 5 and a < 9``
+        becomes the key range ``[6, 8]``.  Either side may be open.
+        """
+        bounds: dict[str, list[tuple[str, int]]] = {}
+        self._collect_bounds(class_name, qualification, bounds)
+        for entry in self.db.catalog.indexes_on(class_name):
+            constraints = bounds.get(entry.attribute)
+            if not constraints:
+                continue
+            lo: int | None = None
+            hi: int | None = None
+            for op, value in constraints:
+                if op == ">":
+                    value += 1
+                    op = ">="
+                elif op == "<":
+                    value -= 1
+                    op = "<="
+                if op == ">=":
+                    lo = value if lo is None else max(lo, value)
+                else:
+                    hi = value if hi is None else min(hi, value)
+            return entry.name, entry.attribute, lo, hi
         return None
 
     def _expand_all_targets(self, statement: ast.Retrieve,

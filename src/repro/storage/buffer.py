@@ -24,6 +24,7 @@ baseline explicitly has "no overhead for cache management").
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
@@ -40,6 +41,8 @@ if TYPE_CHECKING:  # avoid a circular import with repro.smgr.base
 #: CPU instructions charged for a pool hit / miss (lookup + header checks).
 _HIT_INSTRUCTIONS = 1_000
 _MISS_INSTRUCTIONS = 10_000
+#: A decoded-object hit skips the pin *and* the re-parse: only a dict probe.
+_DECODED_HIT_INSTRUCTIONS = 200
 
 #: Usage count ceiling for the clock sweep (as in PostgreSQL).
 _MAX_USAGE = 5
@@ -54,6 +57,13 @@ class BufferStats:
     evictions: int = 0
     writebacks: int = 0
     allocations: int = 0
+    #: Blocks brought in ahead of demand by :meth:`BufferManager.prefetch`.
+    prefetched: int = 0
+    #: Pins satisfied by a block that prefetch (not demand) read in.
+    prefetch_hits: int = 0
+    #: Decoded-object side cache (B-tree nodes): serves without a pin.
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -71,6 +81,8 @@ class Buffer:
     dirty: bool = False
     pin_count: int = 0
     usage: int = 1
+    #: True until the first demand pin when prefetch read this block in.
+    prefetched: bool = False
 
     @property
     def key(self) -> tuple[int, str, int]:
@@ -96,6 +108,13 @@ class BufferManager:
         self._hand = 0
         #: Pool-side view of each file's length, >= the device's nblocks.
         self._virtual_nblocks: dict[tuple[int, str], int] = {}
+        #: Side cache of *decoded* page contents (B-tree nodes), keyed like
+        #: frames.  Writers must update or drop entries on every page
+        #: write; the pool drops them with the file.  LRU-bounded so it
+        #: can never outgrow the pool it shadows.
+        self._decoded: OrderedDict[tuple[int, str, int], object] = \
+            OrderedDict()
+        self._decoded_limit = max(64, pool_size)
 
     # -- CPU accounting ------------------------------------------------------
 
@@ -120,6 +139,9 @@ class BufferManager:
         buf = self._frames.get(key)
         if buf is not None:
             self.stats.hits += 1
+            if buf.prefetched:
+                self.stats.prefetch_hits += 1
+                buf.prefetched = False
             self._charge(_HIT_INSTRUCTIONS)
             buf.pin_count += 1
             buf.usage = min(buf.usage + 1, _MAX_USAGE)
@@ -161,9 +183,10 @@ class BufferManager:
                     f"checksum mismatch prefetching block {block} "
                     f"of {fileid!r}")
             buf = Buffer(smgr=smgr, fileid=fileid, blockno=block,
-                         page=page, pin_count=0, usage=1)
+                         page=page, pin_count=0, usage=1, prefetched=True)
             self._install(buf)
             fetched += 1
+        self.stats.prefetched += fetched
         return fetched
 
     def allocate(self, smgr: "StorageManager", fileid: str,
@@ -179,6 +202,50 @@ class BufferManager:
                      dirty=True, pin_count=1)
         self._install(buf)
         return buf
+
+    # -- decoded-object side cache ---------------------------------------------
+
+    def get_decoded(self, smgr: "StorageManager", fileid: str,
+                    blockno: int) -> object | None:
+        """The cached decoded form of a page, or ``None``.
+
+        Access methods that parse page images into richer structures
+        (the B-tree's node arrays) register the decoded form here and
+        serve repeat reads without re-pinning or re-parsing.  The cache
+        is shared pool-wide, so two handles on the same index file see
+        one coherent copy.  Callers own coherence on writes: every page
+        write must go through :meth:`put_decoded` or
+        :meth:`drop_decoded`.
+        """
+        key = (id(smgr), fileid, blockno)
+        obj = self._decoded.get(key)
+        if obj is None:
+            self.stats.node_cache_misses += 1
+            return None
+        self._decoded.move_to_end(key)
+        self.stats.node_cache_hits += 1
+        self._charge(_DECODED_HIT_INSTRUCTIONS)
+        return obj
+
+    def put_decoded(self, smgr: "StorageManager", fileid: str,
+                    blockno: int, obj: object) -> None:
+        """Install (or overwrite) the decoded form of a page."""
+        key = (id(smgr), fileid, blockno)
+        self._decoded[key] = obj
+        self._decoded.move_to_end(key)
+        while len(self._decoded) > self._decoded_limit:
+            self._decoded.popitem(last=False)
+
+    def drop_decoded(self, smgr: "StorageManager", fileid: str,
+                     blockno: int | None = None) -> None:
+        """Forget decoded pages of a file (one block, or all of them)."""
+        if blockno is not None:
+            self._decoded.pop((id(smgr), fileid, blockno), None)
+            return
+        stale = [key for key in self._decoded
+                 if key[0] == id(smgr) and key[1] == fileid]
+        for key in stale:
+            del self._decoded[key]
 
     def unpin(self, buf: Buffer, dirty: bool = False) -> None:
         """Release one pin; *dirty* marks the page as modified."""
@@ -311,6 +378,7 @@ class BufferManager:
         for key in stale:
             del self._frames[key]
         self._virtual_nblocks.pop((id(smgr), fileid), None)
+        self.drop_decoded(smgr, fileid)
 
     def pinned_count(self) -> int:
         """Number of frames with at least one pin (should be 0 at rest)."""
@@ -323,4 +391,5 @@ class BufferManager:
         self.flush_all()
         self._frames.clear()
         self._sweep_order.clear()
+        self._decoded.clear()
         self._hand = 0

@@ -184,6 +184,54 @@ class TestCompositeKeys:
         assert got == [(3, b) for b in range(10)]
 
 
+class TestDecodedNodeCache:
+    def test_repeat_search_hits_cache(self, stack, tree):
+        for i in range(100):
+            tree.insert((i,), (i, 0))
+        before = stack.bufmgr.stats.node_cache_hits
+        tree.search((50,))
+        tree.search((50,))
+        assert stack.bufmgr.stats.node_cache_hits > before
+
+    def test_write_through_keeps_cache_coherent(self, tree):
+        for i in range(100):
+            tree.insert((i,), (i, 0))
+        tree.search((50,))  # warm the cache
+        tree.insert((1000,), (9, 9))
+        tree.delete((50,))
+        assert tree.search((1000,)) == [(9, 9)]
+        assert tree.search((50,)) == []
+
+    def test_cache_shared_across_handles(self, stack, tree):
+        other = BTree("idx", stack.smgr, stack.bufmgr, key_arity=1)
+        tree.insert((1,), (1, 0))
+        assert other.search((1,)) == [(1, 0)]
+        other.insert((2,), (2, 0))
+        assert tree.search((2,)) == [(2, 0)]
+
+    def test_mutable_read_does_not_corrupt_cache(self, tree):
+        """Mutation paths get copies; an aborted-style edit can't leak in."""
+        for i in range(10):
+            tree.insert((i,), (i, 0))
+        root, _ = tree._read_meta()
+        cached_keys = list(tree._read_node(root).keys)
+        mutable = tree._read_node(root, mutable=True)
+        mutable.keys.append((999,))
+        assert tree._read_node(root).keys == cached_keys
+
+    def test_range_scan_node_reads_scale_with_leaves(self, stack, tree):
+        n = 3000
+        for i in range(n):
+            tree.insert((i,), (i, 0))
+        stack.bufmgr.invalidate_all()
+        before = stack.bufmgr.stats.node_cache_misses
+        assert sum(1 for _ in tree.range_scan()) == n
+        node_reads = stack.bufmgr.stats.node_cache_misses - before
+        # One descent plus a walk of the leaf chain: far fewer decodes
+        # than one full descent per entry.
+        assert node_reads < n / 10
+
+
 class TestPersistence:
     def test_tree_survives_buffer_eviction(self, stack):
         from repro.storage import BufferManager

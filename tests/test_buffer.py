@@ -153,6 +153,106 @@ class TestFlush:
         assert smgr.nblocks(fid) == 0
 
 
+def materialized_file(pool, smgr, nblocks, name="pf"):
+    """A file with *nblocks* real device blocks and a cold pool."""
+    fid = new_file(smgr, name)
+    for i in range(nblocks):
+        buf = pool.allocate(smgr, fid)
+        buf.page.add_item(bytes([i + 1]) * 16)
+        pool.unpin(buf, dirty=True)
+    pool.flush_file(smgr, fid)
+    pool.drop_file(smgr, fid)
+    return fid
+
+
+class TestPrefetch:
+    def test_prefetch_reads_blocks_unpinned(self, smgr):
+        pool = BufferManager(pool_size=8)
+        fid = materialized_file(pool, smgr, 4)
+        assert pool.prefetch(smgr, fid, 0, 4) == 4
+        assert pool.stats.prefetched == 4
+        assert pool.pinned_count() == 0
+
+    def test_demand_pin_counts_prefetch_hit_once(self, smgr):
+        pool = BufferManager(pool_size=8)
+        fid = materialized_file(pool, smgr, 2)
+        pool.prefetch(smgr, fid, 0, 2)
+        buf = pool.pin(smgr, fid, 0)
+        pool.unpin(buf)
+        assert pool.stats.prefetch_hits == 1
+        # The flag is consumed: a re-pin is a plain hit, not a second
+        # prefetch hit.
+        buf = pool.pin(smgr, fid, 0)
+        pool.unpin(buf)
+        assert pool.stats.prefetch_hits == 1
+        assert pool.stats.hits == 2
+
+    def test_prefetch_clamped_to_file_length(self, smgr):
+        pool = BufferManager(pool_size=8)
+        fid = materialized_file(pool, smgr, 2)
+        assert pool.prefetch(smgr, fid, 0, 10) == 2
+        assert pool.prefetch(smgr, fid, 5, 10) == 0
+
+    def test_prefetch_skips_resident_blocks(self, smgr):
+        pool = BufferManager(pool_size=8)
+        fid = materialized_file(pool, smgr, 3)
+        pool.unpin(pool.pin(smgr, fid, 1))
+        assert pool.prefetch(smgr, fid, 0, 3) == 2
+        # The demand-read block keeps its non-prefetched identity.
+        pool.unpin(pool.pin(smgr, fid, 1))
+        assert pool.stats.prefetch_hits == 0
+
+    def test_prefetched_blocks_are_evictable(self, smgr):
+        pool = BufferManager(pool_size=2)
+        fid = materialized_file(pool, smgr, 4)
+        assert pool.prefetch(smgr, fid, 0, 4) == 4
+        # Low usage means the sweep can turn them over within one pool.
+        pool.unpin(pool.pin(smgr, fid, 3))
+
+
+class TestDecodedCache:
+    def test_put_get_roundtrip(self, pool, smgr):
+        fid = new_file(smgr)
+        pool.put_decoded(smgr, fid, 0, "node-zero")
+        assert pool.get_decoded(smgr, fid, 0) == "node-zero"
+        assert pool.stats.node_cache_hits == 1
+
+    def test_miss_counted(self, pool, smgr):
+        fid = new_file(smgr)
+        assert pool.get_decoded(smgr, fid, 7) is None
+        assert pool.stats.node_cache_misses == 1
+
+    def test_lru_bounded(self, smgr):
+        pool = BufferManager(pool_size=4)
+        fid = new_file(smgr)
+        for blockno in range(pool._decoded_limit + 5):
+            pool.put_decoded(smgr, fid, blockno, blockno)
+        assert len(pool._decoded) == pool._decoded_limit
+        assert pool.get_decoded(smgr, fid, 0) is None  # oldest evicted
+
+    def test_drop_single_block(self, pool, smgr):
+        fid = new_file(smgr)
+        pool.put_decoded(smgr, fid, 0, "a")
+        pool.put_decoded(smgr, fid, 1, "b")
+        pool.drop_decoded(smgr, fid, 0)
+        assert pool.get_decoded(smgr, fid, 0) is None
+        assert pool.get_decoded(smgr, fid, 1) == "b"
+
+    def test_drop_file_clears_decoded(self, pool, smgr):
+        keep, gone = new_file(smgr, "keep"), new_file(smgr, "gone")
+        pool.put_decoded(smgr, keep, 0, "k")
+        pool.put_decoded(smgr, gone, 0, "g")
+        pool.drop_file(smgr, gone)
+        assert pool.get_decoded(smgr, gone, 0) is None
+        assert pool.get_decoded(smgr, keep, 0) == "k"
+
+    def test_invalidate_all_clears_decoded(self, pool, smgr):
+        fid = new_file(smgr)
+        pool.put_decoded(smgr, fid, 0, "x")
+        pool.invalidate_all()
+        assert pool.get_decoded(smgr, fid, 0) is None
+
+
 class TestChecksums:
     def test_corrupt_block_detected(self, pool, smgr):
         fid = new_file(smgr)

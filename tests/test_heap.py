@@ -64,6 +64,38 @@ class TestInsertFetch:
         assert emp.fetch(tids[-1], snap).values == ("e199", 199)
 
 
+class TestBatchFetch:
+    def test_fetch_many_preserves_order_and_visibility(self, stack, emp):
+        tids = [committed_insert(stack, emp, (f"e{i}", i))
+                for i in range(30)]
+        txn = stack.tm.begin()
+        emp.delete(txn, tids[5])
+        txn.commit()
+        snap = stack.tm.snapshot()
+        got = emp.fetch_many(tids, snap)
+        assert [t.values[1] for t in got] == [
+            i for i in range(30) if i != 5]
+
+    def test_prefetch_tids_groups_contiguous_runs(self, stack, emp):
+        # Enough fat tuples to span several pages on the device.
+        tids = [committed_insert(stack, emp, ("x" * 600, i))
+                for i in range(60)]
+        stack.bufmgr.flush_file(stack.smgr, emp.fileid)
+        stack.bufmgr.drop_file(stack.smgr, emp.fileid)
+        fetched = emp.prefetch_tids(tids)
+        assert fetched >= 2  # contiguous block run was read ahead
+        assert stack.bufmgr.stats.prefetched >= fetched
+
+    def test_prefetch_tids_skips_isolated_blocks(self, stack, emp):
+        tids = [committed_insert(stack, emp, ("x" * 600, i))
+                for i in range(60)]
+        stack.bufmgr.flush_file(stack.smgr, emp.fileid)
+        stack.bufmgr.drop_file(stack.smgr, emp.fileid)
+        # A single isolated block is not worth a readahead call.
+        lone = [t for t in tids if t.blockno == tids[-1].blockno][:1]
+        assert emp.prefetch_tids(lone) == 0
+
+
 class TestDeleteReplace:
     def test_delete_hides_tuple(self, stack, emp):
         tid = committed_insert(stack, emp, ("Joe", 30))

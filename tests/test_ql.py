@@ -348,7 +348,8 @@ class TestDefineIndex:
         db.execute('retrieve (NUM.n) where NUM.n = 7')
         probe_cost = db.bufmgr.stats.hits + db.bufmgr.stats.misses - before
         before = db.bufmgr.stats.hits + db.bufmgr.stats.misses
-        db.execute('retrieve (NUM.n) where NUM.n > 7 and NUM.n < 9')
+        # != is not indexable, so this one walks the heap.
+        db.execute('retrieve (NUM.n) where NUM.n != 7')
         scan_cost = db.bufmgr.stats.hits + db.bufmgr.stats.misses - before
         assert probe_cost < scan_cost / 3
 
@@ -554,6 +555,87 @@ class TestAggregates:
         assert emp.execute(
             f'retrieve (count(EMP.name)) from EMP["{t0}"]').scalar() == 3
         assert emp.execute('retrieve (count(EMP.name))').scalar() == 4
+
+
+class TestIndexRangeScan:
+    @pytest.fixture
+    def num(self, db):
+        db.execute('create NUM (n = int4)')
+        db.execute('define index num_n on NUM (n)')
+        with db.begin() as txn:
+            for i in range(100):
+                db.insert(txn, 'NUM', (i,))
+        return db
+
+    def test_between_style_pair(self, num):
+        result = num.execute(
+            'retrieve (NUM.n) where NUM.n >= 10 and NUM.n <= 20')
+        assert sorted(r[0] for r in result.rows) == list(range(10, 21))
+
+    def test_strict_bounds_tightened(self, num):
+        result = num.execute(
+            'retrieve (NUM.n) where NUM.n > 10 and NUM.n < 20')
+        assert sorted(r[0] for r in result.rows) == list(range(11, 20))
+
+    def test_half_open_ranges(self, num):
+        assert num.execute('retrieve (NUM.n) where NUM.n >= 95').count == 5
+        assert num.execute('retrieve (NUM.n) where NUM.n < 5').count == 5
+
+    def test_mirrored_operands(self, num):
+        """``7 < NUM.n`` must read as ``NUM.n > 7``."""
+        result = num.execute('retrieve (NUM.n) where 7 < NUM.n and 12 > NUM.n')
+        assert sorted(r[0] for r in result.rows) == list(range(8, 12))
+
+    def test_range_plan_in_explain(self, num):
+        plan = num.explain('retrieve (NUM.n) where NUM.n >= 10 and NUM.n <= 20')
+        assert "index range scan num_n on NUM.n in [10, 20]" in plan
+        plan = num.explain('retrieve (NUM.n) where NUM.n >= 42')
+        assert "index range scan num_n on NUM.n in [42, +inf]" in plan
+
+    def test_unindexed_attribute_falls_back(self, db):
+        db.execute('create PLAIN (n = int4)')
+        with db.begin() as txn:
+            for i in range(10):
+                db.insert(txn, 'PLAIN', (i,))
+        plan = db.explain('retrieve (PLAIN.n) where PLAIN.n >= 3')
+        assert "sequential scan of PLAIN" in plan
+        assert db.execute('retrieve (PLAIN.n) where PLAIN.n >= 3').count == 7
+
+    def test_range_with_extra_conjunct_rechecks(self, num):
+        """Non-range conjuncts still filter the fetched tuples."""
+        result = num.execute(
+            'retrieve (NUM.n) where NUM.n >= 10 and NUM.n <= 30 '
+            'and NUM.n != 15')
+        got = sorted(r[0] for r in result.rows)
+        assert got == [n for n in range(10, 31) if n != 15]
+
+    def test_range_sees_fresh_and_replaced_tuples(self, num):
+        with num.begin() as txn:
+            tup = next(t for t in num.scan('NUM', txn)
+                       if t.values[0] == 50)
+            num.replace(txn, 'NUM', tup.tid, (1000,))
+        result = num.execute('retrieve (NUM.n) where NUM.n >= 999')
+        assert result.rows == [(1000,)]
+        assert num.execute(
+            'retrieve (NUM.n) where NUM.n >= 50 and NUM.n <= 50').count == 0
+
+    def test_range_probe_cheaper_than_scan(self, db):
+        db.execute('create FAT (name = text, n = int4)')
+        db.execute('define index fat_n on FAT (n)')
+        with db.begin() as txn:
+            for i in range(300):
+                # Fat rows so the class spans many pages.
+                db.insert(txn, "FAT", ("x" * 400, i))
+
+        def cost(query):
+            before = db.bufmgr.stats.hits + db.bufmgr.stats.misses
+            db.execute(query)
+            return db.bufmgr.stats.hits + db.bufmgr.stats.misses - before
+
+        narrow = cost('retrieve (FAT.n) where FAT.n >= 1 and FAT.n <= 4')
+        # != is not indexable, so this one walks every heap page.
+        full = cost('retrieve (FAT.n) where FAT.n != 1')
+        assert narrow < full / 3
 
 
 class TestExplain:
