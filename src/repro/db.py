@@ -39,9 +39,11 @@ from repro.catalog.journal import CatalogJournal
 from repro.errors import RelationNotFound, SchemaError
 from repro.sim.clock import SimClock
 from repro.sim.devices import CpuModel, magnetic_disk_device
+from repro.sim.faults import FaultPlan, parse_plan
 from repro.smgr.base import StorageManager, StorageManagerSwitch
 from repro.smgr.cache import CachedStorageManager
 from repro.smgr.disk import DiskStorageManager
+from repro.smgr.faulty import FaultInjector
 from repro.smgr.memory import MemoryStorageManager
 from repro.smgr.worm import WormStorageManager
 from repro.storage.buffer import BufferManager
@@ -113,6 +115,11 @@ class Database:
             "worm", lambda: CachedStorageManager(
                 WormStorageManager(self.clock), self.clock,
                 capacity_blocks=worm_cache_blocks))
+        # Scripted fault injection over the durable manager: relations
+        # created "with storage manager 'faulty'" behave exactly like disk
+        # until a plan is armed (Database.inject_faults).
+        self.switch.register(
+            "faulty", lambda: FaultInjector(self.switch.get("disk")))
 
     def _bootstrap(self) -> None:
         """Create system classes on first open."""
@@ -473,6 +480,25 @@ class Database:
     def checkpoint(self) -> int:
         """Flush every dirty buffer (returns pages written)."""
         return self.bufmgr.flush_all()
+
+    # -- fault injection -------------------------------------------------------------------------------
+
+    def inject_faults(self, plan) -> "FaultPlan":
+        """Arm a fault plan (a :class:`~repro.sim.faults.FaultPlan` or plan
+        DSL text) over the ``"faulty"`` storage manager and ``pg_log``.
+
+        Returns the armed plan so callers can inspect ``plan.fired``.
+        """
+        if isinstance(plan, str):
+            plan = parse_plan(plan)
+        self.switch.get("faulty").arm(plan)
+        self.clog.set_fault_plan(plan)
+        return plan
+
+    def clear_faults(self) -> None:
+        """Disarm any fault plan; injected managers become transparent."""
+        self.switch.get("faulty").disarm()
+        self.clog.set_fault_plan(None)
 
     def check_integrity(self) -> list[str]:
         """Read-only consistency sweep over every layer.

@@ -34,6 +34,17 @@ class StorageManagerError(StorageError):
     """A storage manager could not satisfy a block request."""
 
 
+class SimulatedCrash(StorageError):
+    """A scripted fault-injection plan reached a crash point.
+
+    Raised by the crash-recovery harness (:mod:`repro.sim.faults`) to model
+    the process dying mid-operation: whatever had reached stable storage is
+    all a reopened database gets to see.  Recovery code must never catch
+    this to "clean up" — a dead process runs no cleanup — so the
+    transaction manager re-raises it untouched instead of aborting.
+    """
+
+
 class WriteOnceViolation(StorageManagerError):
     """An attempt was made to overwrite an already-written WORM block."""
 

@@ -264,6 +264,13 @@ class FChunkObject(LargeObject):
     def _close(self) -> None:
         if self.writable:
             self.flush()
+            # A closed descriptor has nothing left to flush; leaving the
+            # hook registered would pin this object (and every other
+            # descriptor opened by a long transaction) until commit.
+            try:
+                self.txn.before_commit.remove(self.flush)
+            except ValueError:
+                pass
 
     # -- reads ----------------------------------------------------------------------------
 

@@ -244,6 +244,12 @@ class VSegmentObject(LargeObject):
     def _close(self) -> None:
         if self.writable:
             self.flush()
+            # Mirror f-chunk: a closed descriptor must not stay pinned by
+            # the transaction's before-commit hook list.
+            try:
+                self.txn.before_commit.remove(self.flush)
+            except ValueError:
+                pass
         self.store.close()
 
     # -- storage accounting (Figure 1) -----------------------------------------------------

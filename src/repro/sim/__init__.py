@@ -17,6 +17,7 @@ from repro.sim.devices import (
     magnetic_disk_device,
     nvram_device,
 )
+from repro.sim.faults import FaultPlan, FaultRule, SimulatedCrash, parse_plan
 
 __all__ = [
     "SimClock",
@@ -25,4 +26,8 @@ __all__ = [
     "magnetic_disk_device",
     "nvram_device",
     "jukebox_device",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
+    "parse_plan",
 ]

@@ -12,11 +12,16 @@ Three managers ship with this reproduction, matching POSTGRES Version 4:
 * ``"memory"`` — non-volatile main memory;
 * ``"worm"``  — a write-once optical-disk jukebox, fronted by a
   magnetic-disk block cache (see :mod:`repro.smgr.cache`).
+
+A fourth registration, ``"faulty"`` (:mod:`repro.smgr.faulty`), wraps the
+``"disk"`` manager with scripted fault injection — the crash-recovery
+harness routes relations through it to break commits at exact points.
 """
 
 from repro.smgr.base import StorageManager, StorageManagerSwitch
 from repro.smgr.cache import CachedStorageManager
 from repro.smgr.disk import DiskStorageManager
+from repro.smgr.faulty import FaultInjector
 from repro.smgr.memory import MemoryStorageManager
 from repro.smgr.raw import RawWormDevice
 from repro.smgr.worm import WormStorageManager
@@ -28,5 +33,6 @@ __all__ = [
     "MemoryStorageManager",
     "WormStorageManager",
     "CachedStorageManager",
+    "FaultInjector",
     "RawWormDevice",
 ]

@@ -1,0 +1,129 @@
+"""Fault-injecting storage manager: any manager, made unreliable on cue.
+
+:class:`FaultInjector` wraps another :class:`StorageManager` and consults a
+:class:`~repro.sim.faults.FaultPlan` before every block read, block write,
+and sync.  A firing rule either raises a device error (the process
+survives; commit aborts), tears the write — persisting only a scripted
+prefix of the page through to the wrapped manager — or raises
+:class:`~repro.errors.SimulatedCrash`.
+
+Because the injector is itself an ordinary storage manager it registers in
+the switch like any other (``Database`` registers it as ``"faulty"``,
+wrapping the durable ``"disk"`` manager), so any relation — including every
+large-object class — can be routed through it with
+``create ... with storage manager "faulty"``, and a reopened database finds
+the same files through a fresh, unarmed injector.  With no plan armed the
+wrapper is transparent.
+
+Every delegated operation is appended to :attr:`FaultInjector.trace`, which
+doubles as a cheap protocol checker: the force-at-commit tests assert that
+a ``sync`` for each touched file appears after its writes.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock  # noqa: F401  (re-export convenience)
+from repro.sim.faults import FaultPlan
+from repro.smgr.base import StorageManager
+from repro.storage.constants import PAGE_SIZE
+
+
+class FaultInjector(StorageManager):
+    """A storage manager that fails, tears, or "crashes" on a scripted cue."""
+
+    name = "faulty"
+
+    def __init__(self, base: StorageManager, plan: FaultPlan | None = None):
+        super().__init__(base.model, base.clock)
+        self.base = base
+        self.plan = plan
+        #: Every (operation, fileid) delegated through this wrapper.
+        self.trace: list[tuple[str, str]] = []
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> FaultPlan:
+        """Install *plan*; subsequent guarded operations consult it."""
+        self.plan = plan
+        return plan
+
+    def disarm(self) -> None:
+        """Remove the plan; the wrapper becomes transparent again."""
+        self.plan = None
+
+    def _check(self, op: str, fileid: str):
+        self.trace.append((op, fileid))
+        if self.plan is None:
+            return None
+        return self.plan.check(op, fileid)
+
+    def op_count(self, op: str, fileid: str | None = None) -> int:
+        """How many *op* calls (optionally on *fileid*) went through."""
+        return sum(1 for seen_op, seen_file in self.trace
+                   if seen_op == op
+                   and (fileid is None or seen_file == fileid))
+
+    # -- file lifecycle (delegated, never failed: DDL is journal-backed
+    # and outside the commit path the harness targets) ---------------------
+
+    def create(self, fileid: str) -> None:
+        self.trace.append(("create", fileid))
+        self.base.create(fileid)
+
+    def exists(self, fileid: str) -> bool:
+        return self.base.exists(fileid)
+
+    def unlink(self, fileid: str) -> None:
+        self.trace.append(("unlink", fileid))
+        self.base.unlink(fileid)
+
+    def nblocks(self, fileid: str) -> int:
+        return self.base.nblocks(fileid)
+
+    # -- block I/O ---------------------------------------------------------
+
+    def read_block(self, fileid: str, blockno: int) -> bytearray:
+        rule = self._check("read", fileid)
+        if rule is not None:
+            self.plan.fire(rule, f"read {fileid!r} block {blockno}")
+        return self.base.read_block(fileid, blockno)
+
+    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
+        rule = self._check("write", fileid)
+        if rule is None:
+            self.base.write_block(fileid, blockno, data)
+            return
+        if rule.action == "torn":
+            self.base.write_block(
+                fileid, blockno,
+                self._torn_image(fileid, blockno, data, rule.keep_bytes))
+        self.plan.fire(rule, f"write {fileid!r} block {blockno}")
+
+    def _torn_image(self, fileid: str, blockno: int, data: bytes,
+                    keep: int) -> bytes:
+        """What stable storage holds after a write persisted *keep* bytes:
+        the new prefix, then whatever the block held before (zeros for a
+        fresh block)."""
+        prefix = bytes(data)[:keep]
+        if 0 <= blockno < self.base.nblocks(fileid):
+            old = bytes(self.base.read_block(fileid, blockno))
+            return prefix + old[keep:]
+        return prefix + bytes(PAGE_SIZE - keep)
+
+    def sync(self, fileid: str) -> None:
+        rule = self._check("sync", fileid)
+        if rule is not None:
+            self.plan.fire(rule, f"sync {fileid!r}")
+        self.base.sync(fileid)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        stats = dict(self.base.stats())
+        stats["injected_faults"] = len(self.plan.fired) if self.plan else 0
+        return stats
+
+    def close(self) -> None:
+        close = getattr(self.base, "close", None)
+        if close is not None:
+            close()

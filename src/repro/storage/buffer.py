@@ -115,6 +115,12 @@ class BufferManager:
         self._decoded: OrderedDict[tuple[int, str, int], object] = \
             OrderedDict()
         self._decoded_limit = max(64, pool_size)
+        #: Monotone stamp written into each page header on write-back.  A
+        #: page that has ever been written carries a nonzero LSN, which is
+        #: what arms checksum verification on later reads (fresh all-zero
+        #: pages are exempt) — so a torn device write is detected instead
+        #: of served.
+        self._next_lsn = 1
 
     # -- CPU accounting ------------------------------------------------------
 
@@ -174,6 +180,7 @@ class BufferManager:
             key = (id(smgr), fileid, block)
             if key in self._frames:
                 continue
+            self._charge(_MISS_INSTRUCTIONS)
             self._make_room()
             raw = smgr.read_block(fileid, block)
             page = SlottedPage(raw)
@@ -330,23 +337,32 @@ class BufferManager:
         for hole in range(device_blocks, buf.blockno):
             hole_buf = self._frames.get((id(buf.smgr), buf.fileid, hole))
             if hole_buf is not None and hole_buf.dirty:
-                hole_buf.page.stamp_checksum()
+                self._stamp(hole_buf.page)
                 buf.smgr.write_block(buf.fileid, hole, bytes(hole_buf.page.buf))
                 hole_buf.dirty = False
                 self.stats.writebacks += 1
             else:
                 buf.smgr.write_block(buf.fileid, hole, zero)
-        buf.page.stamp_checksum()
+        self._stamp(buf.page)
         buf.smgr.write_block(buf.fileid, buf.blockno, bytes(buf.page.buf))
         buf.dirty = False
+
+    def _stamp(self, page: SlottedPage) -> None:
+        """Mark the page written (nonzero LSN) and seal its checksum."""
+        page.lsn = self._next_lsn
+        self._next_lsn += 1
+        page.stamp_checksum()
 
     # -- flushing ---------------------------------------------------------------
 
     def flush_file(self, smgr: "StorageManager", fileid: str) -> int:
-        """Write all dirty pages of one file, in block order.
+        """Write all dirty pages of one file, then sync it, in block order.
 
         This is the force-at-commit path.  Returns the number of pages
-        written.
+        written.  The sync is unconditional: a file with no dirty pages
+        left may still have unsynced device writes from eviction
+        write-backs (:meth:`_writeback_batch`), and skipping the sync for
+        it would leave a committed transaction's pages in the OS cache.
         """
         dirty = sorted(
             (buf for buf in self._frames.values()
@@ -355,8 +371,7 @@ class BufferManager:
         for buf in dirty:
             if buf.dirty:  # _writeback may have flushed it as a hole-filler
                 self._writeback(buf)
-        if dirty:
-            smgr.sync(fileid)
+        smgr.sync(fileid)
         return len(dirty)
 
     def flush_all(self) -> int:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 from typing import Callable
 
-from repro.errors import NoActiveTransaction, TransactionError
+from repro.errors import NoActiveTransaction, SimulatedCrash, TransactionError
 from repro.sim.clock import SimClock
 from repro.storage.buffer import BufferManager
 from repro.txn.locks import LockManager
@@ -111,13 +111,30 @@ class TransactionManager:
         return txn
 
     def commit(self, txn: Transaction) -> None:
-        """Force dirty pages, then make the commit durable and visible."""
+        """Force dirty pages, then make the commit durable and visible.
+
+        A failure anywhere before the commit record — a ``before_commit``
+        hook, a page write, a sync — **aborts** the transaction: locks are
+        released, abort hooks run, and the original exception propagates.
+        The one exception is :class:`SimulatedCrash` from the
+        fault-injection harness, which models the process dying and must
+        not trigger cleanup a dead process could never run.
+        """
         txn.require_active()
-        for hook in txn.before_commit:
-            hook()
-        for smgr, fileid in txn.touched:
-            if smgr.exists(fileid):  # file may have been dropped again
-                self.bufmgr.flush_file(smgr, fileid)
+        try:
+            for hook in txn.before_commit:
+                hook()
+            for smgr, fileid in txn.touched:
+                if smgr.exists(fileid):  # file may have been dropped again
+                    self.bufmgr.flush_file(smgr, fileid)
+        except SimulatedCrash:
+            raise
+        except BaseException:
+            # Abort rather than leave the session wedged ACTIVE with locks
+            # held.  If an abort hook also fails, its error propagates with
+            # the original failure attached as context.
+            self.abort(txn)
+            raise
         self.clog.set_committed(txn.xid, self.clock.now())
         txn.state = TxnState.COMMITTED
         self._finish(txn, txn.on_commit)

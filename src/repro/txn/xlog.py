@@ -54,10 +54,17 @@ class CommitLog:
         self._next_xid = FIRST_XID
         self._reserved_until = FIRST_XID  # exclusive upper bound on disk
         self._handle = None
+        #: Optional fault plan consulted before each record append (the
+        #: crash harness's torn-tail / die-before-log injection points).
+        self._fault_plan = None
         if path is not None:
             self._replay()
             self._next_xid = max(self._next_xid, self._reserved_until)
             self._handle = open(path, "ab")
+
+    def set_fault_plan(self, plan) -> None:
+        """Arm (or with ``None`` disarm) a fault plan over record appends."""
+        self._fault_plan = plan
 
     # -- persistence -----------------------------------------------------------
 
@@ -67,6 +74,10 @@ class CommitLog:
         with open(self.path, "rb") as fh:
             data = fh.read()
         usable = len(data) - (len(data) % _RECORD.size)  # drop torn tail
+        if usable != len(data):
+            # Physically discard the torn tail: appending behind it would
+            # leave every later record misaligned and unreadable.
+            os.truncate(self.path, usable)
         for pos in range(0, usable, _RECORD.size):
             xid, status, commit_time = _RECORD.unpack_from(data, pos)
             if status == _HWM_RECORD:
@@ -78,10 +89,23 @@ class CommitLog:
             self._next_xid = max(self._next_xid, xid + 1)
 
     def _append(self, xid: int, status: TxnStatus, commit_time: float) -> None:
-        if self._handle is not None:
-            self._handle.write(_RECORD.pack(xid, status, commit_time))
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+        if self._handle is None:
+            return
+        record = _RECORD.pack(xid, status, commit_time)
+        if self._fault_plan is not None:
+            rule = self._fault_plan.check("append", "pg_log")
+            if rule is not None:
+                if rule.action == "torn":
+                    # The record made it to disk only partially — exactly
+                    # what a crash mid-append leaves; replay drops it.
+                    self._handle.write(record[:rule.keep_bytes])
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                self._fault_plan.fire(
+                    rule, f"pg_log append for xid {xid}")
+        self._handle.write(record)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         """Close the backing file (records already written are durable)."""
@@ -112,17 +136,21 @@ class CommitLog:
     # -- status transitions ---------------------------------------------------------
 
     def set_committed(self, xid: int, commit_time: float) -> None:
-        """Record that *xid* committed at *commit_time*."""
+        """Record that *xid* committed at *commit_time*.
+
+        The record is forced to disk *before* the in-memory status flips:
+        a commit that never became durable must never become visible.
+        """
         self._require_in_progress(xid)
+        self._append(xid, TxnStatus.COMMITTED, commit_time)
         self._status[xid] = TxnStatus.COMMITTED
         self._commit_time[xid] = commit_time
-        self._append(xid, TxnStatus.COMMITTED, commit_time)
 
     def set_aborted(self, xid: int) -> None:
         """Record that *xid* aborted."""
         self._require_in_progress(xid)
-        self._status[xid] = TxnStatus.ABORTED
         self._append(xid, TxnStatus.ABORTED, 0.0)
+        self._status[xid] = TxnStatus.ABORTED
 
     def _require_in_progress(self, xid: int) -> None:
         status = self.status(xid)

@@ -51,9 +51,12 @@ class TestWriteFailures:
         flaky.fail_after = 0  # every further write fails
         with pytest.raises(StorageManagerError):
             txn.commit()
-        # The transaction never wrote its commit record.
+        # The failed commit resolved the transaction: aborted, locks
+        # released, no commit record — the session is not left wedged.
         from repro.txn.xlog import TxnStatus
-        assert db.clog.status(txn.xid) == TxnStatus.IN_PROGRESS
+        assert db.clog.status(txn.xid) == TxnStatus.ABORTED
+        assert not txn.is_active
+        assert db.tm.active_count() == 0
         # A detached reader sees nothing from it.
         flaky.fail_after = None
         assert list(db.scan("T")) == []
@@ -65,8 +68,7 @@ class TestWriteFailures:
         db.insert(txn, "T", (1,))
         flaky.fail_after = 0
         with pytest.raises(StorageManagerError):
-            txn.commit()
-        db.tm.abort(txn)  # resolve the stuck transaction
+            txn.commit()  # aborts the transaction as it fails
         flaky.fail_after = None
         with db.begin() as retry:
             db.insert(retry, "T", (2,))
@@ -82,9 +84,9 @@ class TestWriteFailures:
         with pytest.raises(StorageManagerError):
             txn.commit()
         from repro.txn.xlog import TxnStatus
-        assert db.clog.status(txn.xid) != TxnStatus.COMMITTED
+        assert db.clog.status(txn.xid) == TxnStatus.ABORTED
+        assert not txn.is_active
         flaky.fail_after = None  # heal the device for teardown
-        db.tm.abort(txn)
 
     def test_failure_during_eviction_surfaces(self, db):
         """A mid-transaction eviction writeback that fails raises at the

@@ -1,0 +1,152 @@
+"""CommitLog edge cases: torn tails, unknown xids, and xid reservation.
+
+``pg_log`` is the only thing standing between a crash and an incorrect
+visibility decision, so its corner cases get their own tests: a record cut
+short by a crash mid-append must be dropped on replay, xids with no record
+must read as aborted, and the high-water-mark batching must make xid reuse
+impossible no matter how the process dies.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import SimulatedCrash, TransactionError
+from repro.sim.faults import FaultPlan, FaultRule
+from repro.storage.constants import FIRST_XID, INVALID_XID
+from repro.txn.xlog import _RECORD, _XID_BATCH, CommitLog, TxnStatus
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "pg_log")
+
+
+class TestTornTailReplay:
+    @pytest.mark.parametrize("cut", [1, 8, 12, _RECORD.size - 1])
+    def test_torn_last_record_is_dropped(self, log_path, cut):
+        log = CommitLog(log_path)
+        x1 = log.allocate_xid()
+        x2 = log.allocate_xid()
+        log.set_committed(x1, 1.5)
+        log.set_committed(x2, 2.5)
+        log.close()
+        # Tear the tail: the crash persisted only part of x2's record.
+        os.truncate(log_path, os.path.getsize(log_path) - cut)
+
+        reopened = CommitLog(log_path)
+        assert reopened.status(x1) == TxnStatus.COMMITTED
+        assert reopened.commit_time(x1) == 1.5
+        # The torn record never counts: x2 is aborted, not half-committed.
+        assert reopened.status(x2) == TxnStatus.ABORTED
+        reopened.close()
+
+    def test_torn_append_via_fault_plan(self, log_path):
+        """The fault hook persists a prefix, crashes, and replay drops it."""
+        log = CommitLog(log_path)
+        xid = log.allocate_xid()
+        plan = FaultPlan([FaultRule(op="append", pattern="pg_log",
+                                    action="torn", keep_bytes=12)])
+        log.set_fault_plan(plan)
+        with pytest.raises(SimulatedCrash):
+            log.set_committed(xid, 9.0)
+        log.close()
+
+        # The file really holds a partial record.
+        assert os.path.getsize(log_path) % _RECORD.size == 12
+        reopened = CommitLog(log_path)
+        assert reopened.status(xid) == TxnStatus.ABORTED
+        with pytest.raises(TransactionError):
+            reopened.commit_time(xid)
+        # The log still works: replay ignored the tail, appends continue.
+        retry = reopened.allocate_xid()
+        reopened.set_committed(retry, 10.0)
+        reopened.close()
+        final = CommitLog(log_path)
+        assert final.status(retry) == TxnStatus.COMMITTED
+        final.close()
+
+    def test_crash_before_append_leaves_no_record(self, log_path):
+        log = CommitLog(log_path)
+        xid = log.allocate_xid()
+        plan = FaultPlan([FaultRule(op="append", pattern="pg_log",
+                                    action="crash")])
+        log.set_fault_plan(plan)
+        size_before = os.path.getsize(log_path)
+        with pytest.raises(SimulatedCrash):
+            log.set_committed(xid, 9.0)
+        log.close()
+        assert os.path.getsize(log_path) == size_before
+        reopened = CommitLog(log_path)
+        assert reopened.status(xid) == TxnStatus.ABORTED
+        reopened.close()
+
+
+class TestUnknownXids:
+    def test_unknown_xid_is_aborted(self, log_path):
+        log = CommitLog(log_path)
+        assert log.status(999_999) == TxnStatus.ABORTED
+        assert not log.is_committed(999_999)
+        log.close()
+
+    def test_invalid_xid_has_no_status(self):
+        log = CommitLog()
+        with pytest.raises(TransactionError):
+            log.status(INVALID_XID)
+
+    def test_commit_time_of_uncommitted_xid_raises(self):
+        log = CommitLog()
+        xid = log.allocate_xid()
+        with pytest.raises(TransactionError):
+            log.commit_time(xid)
+
+    def test_status_transitions_are_final(self):
+        log = CommitLog()
+        xid = log.allocate_xid()
+        log.set_committed(xid, 1.0)
+        with pytest.raises(TransactionError):
+            log.set_aborted(xid)
+        with pytest.raises(TransactionError):
+            log.set_committed(xid, 2.0)
+
+
+class TestXidReservation:
+    def test_hwm_batch_advances_next_xid_on_reopen(self, log_path):
+        log = CommitLog(log_path)
+        first = log.allocate_xid()
+        assert first == FIRST_XID
+        log.close()
+        # The batch reservation hit the disk before the xid was used, so a
+        # reopen skips the whole batch instead of re-handing-out FIRST_XID.
+        reopened = CommitLog(log_path)
+        assert reopened.next_xid == FIRST_XID + _XID_BATCH
+        reopened.close()
+
+    def test_xids_disjoint_across_crashy_incarnations(self, log_path):
+        """Three incarnations, none shutting down cleanly, no xid reused."""
+        seen = set()
+        for _ in range(3):
+            log = CommitLog(log_path)
+            for _ in range(_XID_BATCH + 5):  # cross a reservation boundary
+                xid = log.allocate_xid()
+                assert xid not in seen
+                seen.add(xid)
+            log.close()  # no fates recorded: every xid dies in progress
+
+    def test_hwm_records_are_not_transaction_statuses(self, log_path):
+        log = CommitLog(log_path)
+        log.allocate_xid()
+        log.close()
+        reopened = CommitLog(log_path)
+        # The reserved-but-unused xids read as aborted, not as some bogus
+        # decoded status from the HWM record.
+        for xid in range(FIRST_XID, FIRST_XID + _XID_BATCH):
+            assert reopened.status(xid) == TxnStatus.ABORTED
+        assert reopened.in_progress_xids() == set()
+        reopened.close()
+
+    def test_in_memory_log_allocates_without_reservation(self):
+        log = CommitLog()
+        xids = [log.allocate_xid() for _ in range(5)]
+        assert xids == list(range(FIRST_XID, FIRST_XID + 5))
+        assert log.in_progress_xids() == set(xids)
