@@ -176,6 +176,87 @@ class TestReadPathMicro:
         self._record_counters(benchmark, db)
 
 
+@pytest.mark.perf
+class TestConcurrencyMicro:
+    """Threaded mixed read/write traffic on shared large objects.
+
+    Eight sessions split between readers (streaming an already-committed
+    object, lock-free under no-overwrite versioning) and writers
+    (appending to one shared object, serialized by its EXCLUSIVE lock).
+    The benchmark reports whole-workload wall-clock and records the lock
+    counters in ``extra_info``; readers finishing means writers never
+    starve them, and the byte-exact tail check means writer handoff
+    never tears an append.
+    """
+
+    THREADS = 8  # half read, half write
+    OPS = 12     # transactions per thread per round
+
+    def _loaded(self, db, frames=64):
+        txn = db.begin()
+        designator = db.lo.create(txn, "fchunk")
+        with db.lo.open(designator, txn, "rw") as obj:
+            for i in range(frames):
+                obj.write(frame_bytes(i, 0.0))
+        txn.commit()
+        return designator
+
+    def test_mixed_readers_writers(self, benchmark, db):
+        import threading
+
+        from repro.errors import DeadlockError
+
+        read_target = self._loaded(db)
+        write_target = self._loaded(db, frames=1)
+        payload = b"APPEND##"
+
+        def reader():
+            session = db.session()
+            for _ in range(self.OPS):
+                with db.lo.open(read_target) as obj:
+                    while obj.read(16384):
+                        pass
+            del session
+
+        def writer():
+            session = db.session()
+            for _ in range(self.OPS):
+                while True:
+                    session.begin()
+                    try:
+                        with session.lo_open(write_target, "rw") as obj:
+                            obj.seek(0, 2)
+                            obj.write(payload)
+                        session.commit()
+                        break
+                    except DeadlockError:
+                        session.rollback()
+
+        def work():
+            threads = [threading.Thread(
+                target=reader if i % 2 == 0 else writer, daemon=True)
+                for i in range(self.THREADS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            assert not any(t.is_alive() for t in threads)
+
+        benchmark.pedantic(work, rounds=3, iterations=1)
+        with db.lo.open(write_target) as obj:
+            obj.seek(4096)  # past the preloaded frame: only appends
+            tail = obj.read()
+        assert len(tail) % len(payload) == 0
+        assert set(tail[i:i + len(payload)]
+                   for i in range(0, len(tail), len(payload))) == {payload}
+        locks = db.statistics()["locks"]
+        benchmark.extra_info.update(
+            {k: locks[k] for k in ("waits", "wait_time",
+                                   "deadlocks_detected", "victims")})
+        assert locks["timeouts"] == 0
+        assert db.locks.grant_table_empty()
+
+
 class TestInversionMicro:
     def test_path_resolution(self, benchmark, db):
         fs = db.inversion

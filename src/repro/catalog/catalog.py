@@ -13,6 +13,7 @@ batches so a crash never reissues an oid.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.access.schema import Schema
@@ -75,6 +76,8 @@ class Catalog:
         self.large_objects: dict[int, LargeObjectEntry] = {}
         self._next_oid = _FIRST_OID
         self._oid_reserved = _FIRST_OID
+        #: Guards oid allocation — concurrent sessions get distinct oids.
+        self._oid_mutex = threading.Lock()
         self._replay()
 
     # -- replay ---------------------------------------------------------------------
@@ -113,14 +116,15 @@ class Catalog:
     # -- oid allocation ----------------------------------------------------------------
 
     def allocate_oid(self) -> int:
-        """A fresh oid, never reused even across crashes."""
-        oid = self._next_oid
-        if oid >= self._oid_reserved:
-            self._oid_reserved = oid + _OID_BATCH
-            self.journal.append({"action": "oid_hwm",
-                                 "upto": self._oid_reserved})
-        self._next_oid += 1
-        return oid
+        """A fresh oid, never reused even across crashes or threads."""
+        with self._oid_mutex:
+            oid = self._next_oid
+            if oid >= self._oid_reserved:
+                self._oid_reserved = oid + _OID_BATCH
+                self.journal.append({"action": "oid_hwm",
+                                     "upto": self._oid_reserved})
+            self._next_oid += 1
+            return oid
 
     # -- classes ------------------------------------------------------------------------
 

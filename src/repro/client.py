@@ -32,11 +32,18 @@ from repro.db import Database
 from repro.errors import LargeObjectError, NoActiveTransaction
 from repro.lo.interface import LargeObject
 from repro.lo.manager import designator_oid, is_chunked
+from repro.session import Session
 from repro.txn.manager import Transaction
 
 
 class LargeObjectApi:
-    """libpq-style large-object calls over one database connection."""
+    """libpq-style large-object calls over one database connection.
+
+    The connection state — current transaction, open descriptors — lives
+    on a :class:`~repro.session.Session`; this class only translates the
+    historical calling convention (integer descriptors, mode bits) onto
+    it.  One ``LargeObjectApi`` per thread, like one libpq connection.
+    """
 
     #: Historical inversion-API mode bits.
     INV_READ = 0x40000
@@ -44,7 +51,7 @@ class LargeObjectApi:
 
     def __init__(self, db: Database):
         self.db = db
-        self._txn: Transaction | None = None
+        self._session = Session(db)
         self._descriptors: dict[int, LargeObject] = {}
         self._next_fd = 1
 
@@ -52,38 +59,33 @@ class LargeObjectApi:
 
     def begin(self) -> None:
         """Start the connection's transaction."""
-        if self._txn is not None and self._txn.is_active:
+        if self._session.in_transaction:
             raise LargeObjectError("transaction already in progress")
-        self._txn = self.db.begin()
+        self._session.begin()
 
     def commit(self) -> None:
-        self._close_all()
-        self._require_txn().commit()
-        self._txn = None
+        self._require_txn()
+        self._descriptors.clear()
+        self._session.commit()
 
     def rollback(self) -> None:
-        self._close_all()
-        self._require_txn().abort()
-        self._txn = None
+        self._require_txn()
+        self._descriptors.clear()
+        self._session.rollback()
 
     def _require_txn(self) -> Transaction:
-        if self._txn is None or not self._txn.is_active:
+        if not self._session.in_transaction:
             raise NoActiveTransaction(
                 "large-object calls must run inside begin()/commit()")
-        return self._txn
-
-    def _close_all(self) -> None:
-        for handle in self._descriptors.values():
-            handle.close()
-        self._descriptors.clear()
+        return self._session.txn
 
     # -- object lifecycle ------------------------------------------------------
 
     def lo_creat(self, impl: str = "fchunk",
                  compression: str = "none") -> int:
         """Create a large object; returns its oid."""
-        designator = self.db.lo.create(self._require_txn(), impl,
-                                       compression=compression)
+        self._require_txn()
+        designator = self._session.lo_create(impl, compression=compression)
         if not is_chunked(designator):
             raise LargeObjectError(
                 f"lo_creat supports chunked implementations, not {impl}")
@@ -91,7 +93,8 @@ class LargeObjectApi:
 
     def lo_unlink(self, oid: int) -> None:
         """Destroy a large object."""
-        self.db.lo.unlink(self._require_txn(), f"lo:{oid}")
+        self._require_txn()
+        self._session.lo_unlink(f"lo:{oid}")
 
     # -- descriptors ------------------------------------------------------------
 
@@ -100,8 +103,8 @@ class LargeObjectApi:
         if not mode & (self.INV_READ | self.INV_WRITE):
             raise LargeObjectError(f"bad lo_open mode {mode:#x}")
         open_mode = "rw" if mode & self.INV_WRITE else "r"
-        handle = self.db.lo.open(f"lo:{oid}", self._require_txn(),
-                                 open_mode)
+        self._require_txn()
+        handle = self._session.lo_open(f"lo:{oid}", open_mode)
         fd = self._next_fd
         self._next_fd += 1
         self._descriptors[fd] = handle

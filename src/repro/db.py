@@ -26,6 +26,7 @@ Example
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.access.btree import BTree
@@ -56,6 +57,7 @@ if TYPE_CHECKING:
     from repro.inversion.filesystem import InversionFileSystem
     from repro.lo.manager import LargeObjectManager
     from repro.ql.executor import QueryResult
+    from repro.session import Session
 
 #: System class holding each chunked large object's mutable state (size).
 PG_LARGEOBJECT = "pg_largeobject"
@@ -66,14 +68,24 @@ class Database:
 
     def __init__(self, path: str | None = None, pool_size: int = 256,
                  mips: float = 15.0, worm_cache_blocks: int = 1024,
-                 charge_cpu: bool = True):
+                 charge_cpu: bool = True, no_wait: bool = False,
+                 lock_timeout: float | None = None):
         self.path = path
         self.clock = SimClock()
         self.cpu = CpuModel(mips=mips)
         self.bufmgr = BufferManager(
             pool_size=pool_size, clock=self.clock,
             cpu=self.cpu if charge_cpu else None)
-        self.locks = LockManager()
+        #: Blocking 2PL with deadlock detection by default; ``no_wait=True``
+        #: restores the paper's immediate-rejection policy, and
+        #: ``lock_timeout`` bounds every blocking wait (a safety net — the
+        #: deadlock detector does not rely on it).
+        self.locks = LockManager(no_wait=no_wait, timeout=lock_timeout)
+        #: Engine latch: serializes structural mutation (page content,
+        #: relation/index caches) across sessions.  Heavyweight locks are
+        #: ALWAYS taken before this latch, never while holding it — a
+        #: blocking lock wait under the latch would stall every session.
+        self._latch = threading.RLock()
 
         if path is not None:
             os.makedirs(path, exist_ok=True)
@@ -139,24 +151,36 @@ class Database:
     @property
     def lo(self) -> "LargeObjectManager":
         """The large-object manager (lazily constructed)."""
-        if self._lo_manager is None:
-            from repro.lo.manager import LargeObjectManager
-            self._lo_manager = LargeObjectManager(self)
-        return self._lo_manager
+        with self._latch:
+            if self._lo_manager is None:
+                from repro.lo.manager import LargeObjectManager
+                self._lo_manager = LargeObjectManager(self)
+            return self._lo_manager
 
     @property
     def inversion(self) -> "InversionFileSystem":
         """The Inversion file system over this database."""
-        if self._inversion is None:
-            from repro.inversion.filesystem import InversionFileSystem
-            self._inversion = InversionFileSystem(self)
-        return self._inversion
+        with self._latch:
+            if self._inversion is None:
+                from repro.inversion.filesystem import InversionFileSystem
+                self._inversion = InversionFileSystem(self)
+            return self._inversion
 
     # -- transactions ------------------------------------------------------------------
 
     def begin(self) -> Transaction:
         """Start a transaction (usable as a context manager)."""
         return self.tm.begin()
+
+    def session(self) -> "Session":
+        """A new :class:`~repro.session.Session` handle on this database.
+
+        Each concurrent caller (thread, connection) gets its own session:
+        the transaction cursor and open large-object descriptors live on
+        the handle, never on the shared :class:`Database`.
+        """
+        from repro.session import Session
+        return Session(self)
 
     def snapshot(self, txn: Transaction | None = None,
                  as_of: float | None = None,
@@ -181,100 +205,113 @@ class Database:
     def create_class(self, name: str, columns,
                      smgr: str | None = None) -> HeapRelation:
         """``create <name> (...) [with storage manager <smgr>]``."""
-        schema = self._build_schema(columns)
-        smgr_name = smgr or self.default_smgr_name
-        manager = self.storage_manager(smgr_name)
-        fileid = f"heap_{name}"
-        self.catalog.add_relation(name, schema, smgr_name, fileid)
-        relation = HeapRelation(name, schema, manager, self.bufmgr,
-                                self.clog, self.catalog.allocate_oid,
-                                fileid=fileid)
-        relation.create_storage()
-        self._relations[name] = relation
-        return relation
+        with self._latch:
+            schema = self._build_schema(columns)
+            smgr_name = smgr or self.default_smgr_name
+            manager = self.storage_manager(smgr_name)
+            fileid = f"heap_{name}"
+            self.catalog.add_relation(name, schema, smgr_name, fileid)
+            relation = HeapRelation(name, schema, manager, self.bufmgr,
+                                    self.clog, self.catalog.allocate_oid,
+                                    fileid=fileid)
+            relation.create_storage()
+            self._relations[name] = relation
+            return relation
 
     def get_class(self, name: str) -> HeapRelation:
         """The (cached) heap relation for class *name*."""
-        relation = self._relations.get(name)
-        if relation is None:
-            entry = self.catalog.get_relation(name)
-            relation = HeapRelation(
-                entry.name, entry.schema,
-                self.storage_manager(entry.smgr_name), self.bufmgr,
-                self.clog, self.catalog.allocate_oid, fileid=entry.fileid)
-            relation.create_storage()
-            self._relations[name] = relation
-        return relation
+        with self._latch:
+            relation = self._relations.get(name)
+            if relation is None:
+                entry = self.catalog.get_relation(name)
+                relation = HeapRelation(
+                    entry.name, entry.schema,
+                    self.storage_manager(entry.smgr_name), self.bufmgr,
+                    self.clog, self.catalog.allocate_oid,
+                    fileid=entry.fileid)
+                relation.create_storage()
+                self._relations[name] = relation
+            return relation
 
     def class_exists(self, name: str) -> bool:
         return name in self.catalog.relations
 
     def drop_class(self, name: str) -> None:
         """Drop a class, its storage, and its indexes."""
-        relation = self.get_class(name)
-        for index_entry in self.catalog.indexes_on(name):
-            self.drop_index(index_entry.name)
-        self.catalog.drop_relation(name)
-        relation.drop_storage()
-        self._relations.pop(name, None)
+        with self._latch:
+            relation = self.get_class(name)
+            for index_entry in self.catalog.indexes_on(name):
+                self.drop_index(index_entry.name)
+            self.catalog.drop_relation(name)
+            relation.drop_storage()
+            self._relations.pop(name, None)
 
     def create_index(self, name: str, relation_name: str,
                      attribute: str) -> BTree:
         """B-tree index on an integer attribute of a class."""
-        relation = self.get_class(relation_name)
-        attr = relation.schema.attribute(attribute)
-        if (attr.storage_type or attr.type_name) not in (
-                "int4", "int8", "oid"):
-            raise SchemaError(
-                f"can only index integer attributes, {attribute!r} "
-                f"is {attr.type_name}")
-        entry = self.catalog.get_relation(relation_name)
-        fileid = f"btree_{name}"
-        self.catalog.add_index(name, relation_name, attribute, fileid)
-        index = BTree(name, self.storage_manager(entry.smgr_name),
-                      self.bufmgr, key_arity=1, fileid=fileid)
-        index.create_storage()
-        # Index any rows that already exist.
-        position = relation.schema.position(attribute)
-        for tup in relation.scan_versions():
-            key = tup.values[position]
-            if key is not None:
-                index.insert((key,), (tup.tid.blockno, tup.tid.slot))
-        self._indexes[name] = index
-        return index
+        with self._latch:
+            relation = self.get_class(relation_name)
+            attr = relation.schema.attribute(attribute)
+            if (attr.storage_type or attr.type_name) not in (
+                    "int4", "int8", "oid"):
+                raise SchemaError(
+                    f"can only index integer attributes, {attribute!r} "
+                    f"is {attr.type_name}")
+            entry = self.catalog.get_relation(relation_name)
+            fileid = f"btree_{name}"
+            self.catalog.add_index(name, relation_name, attribute, fileid)
+            index = BTree(name, self.storage_manager(entry.smgr_name),
+                          self.bufmgr, key_arity=1, fileid=fileid)
+            index.create_storage()
+            # Index any rows that already exist.
+            position = relation.schema.position(attribute)
+            for tup in relation.scan_versions():
+                key = tup.values[position]
+                if key is not None:
+                    index.insert((key,), (tup.tid.blockno, tup.tid.slot))
+            self._indexes[name] = index
+            return index
 
     def get_index(self, name: str) -> BTree:
-        index = self._indexes.get(name)
-        if index is None:
-            entry = self.catalog.indexes.get(name)
-            if entry is None:
-                raise RelationNotFound(f"no index named {name!r}")
-            relation_entry = self.catalog.get_relation(entry.relation)
-            index = BTree(name,
-                          self.storage_manager(relation_entry.smgr_name),
-                          self.bufmgr, key_arity=1, fileid=entry.fileid)
-            index.create_storage()
-            self._indexes[name] = index
-        return index
+        with self._latch:
+            index = self._indexes.get(name)
+            if index is None:
+                entry = self.catalog.indexes.get(name)
+                if entry is None:
+                    raise RelationNotFound(f"no index named {name!r}")
+                relation_entry = self.catalog.get_relation(entry.relation)
+                index = BTree(name,
+                              self.storage_manager(relation_entry.smgr_name),
+                              self.bufmgr, key_arity=1, fileid=entry.fileid)
+                index.create_storage()
+                self._indexes[name] = index
+            return index
 
     def drop_index(self, name: str) -> None:
-        index = self.get_index(name)
-        self.catalog.drop_index(name)
-        index.drop_storage()
-        self._indexes.pop(name, None)
+        with self._latch:
+            index = self.get_index(name)
+            self.catalog.drop_index(name)
+            index.drop_storage()
+            self._indexes.pop(name, None)
 
     # -- DML (index-maintaining) --------------------------------------------------------------
 
     def insert(self, txn: Transaction, class_name: str,
                values: tuple) -> TID:
-        """Insert *values* into *class_name*, maintaining its indexes."""
+        """Insert *values* into *class_name*, maintaining its indexes.
+
+        The relation lock is taken *before* the engine latch (and may
+        block); the latched section then mutates pages atomically with
+        respect to every other session.
+        """
         self.tm.require_transaction(txn)
         self.locks.acquire(txn.xid, ("relation", class_name),
                            LockMode.SHARED)
-        relation = self.get_class(class_name)
-        tid = relation.insert(txn, values)
-        self._index_insert(class_name, relation, values, tid, txn)
-        return tid
+        with self._latch:
+            relation = self.get_class(class_name)
+            tid = relation.insert(txn, values)
+            self._index_insert(class_name, relation, values, tid, txn)
+            return tid
 
     def _index_insert(self, class_name: str, relation: HeapRelation,
                       values: tuple, tid: TID, txn: Transaction) -> None:
@@ -294,7 +331,8 @@ class Database:
         self.tm.require_transaction(txn)
         self.locks.acquire(txn.xid, ("relation", class_name),
                            LockMode.SHARED)
-        self.get_class(class_name).delete(txn, tid)
+        with self._latch:
+            self.get_class(class_name).delete(txn, tid)
 
     def replace(self, txn: Transaction, class_name: str, tid: TID,
                 values: tuple) -> TID:
@@ -302,10 +340,11 @@ class Database:
         self.tm.require_transaction(txn)
         self.locks.acquire(txn.xid, ("relation", class_name),
                            LockMode.SHARED)
-        relation = self.get_class(class_name)
-        new_tid = relation.replace(txn, tid, values)
-        self._index_insert(class_name, relation, values, new_tid, txn)
-        return new_tid
+        with self._latch:
+            relation = self.get_class(class_name)
+            new_tid = relation.replace(txn, tid, values)
+            self._index_insert(class_name, relation, values, new_tid, txn)
+            return new_tid
 
     def scan(self, class_name: str, txn: Transaction | None = None,
              as_of: float | None = None,
@@ -315,18 +354,26 @@ class Database:
 
         Time-travel scans transparently include versions the archival
         vacuum has moved to the class's archive relation.
+
+        The result is materialized under the engine latch, so the tuples
+        returned are a consistent cut even while other sessions write.
         """
         snapshot = self.snapshot(txn, as_of=as_of, until=until)
-        if as_of is not None and self.archiver.has_archive(class_name):
-            return self.archiver.scan_with_archive(class_name, snapshot)
-        return self.get_class(class_name).scan(snapshot)
+        with self._latch:
+            if as_of is not None and self.archiver.has_archive(class_name):
+                tuples = list(
+                    self.archiver.scan_with_archive(class_name, snapshot))
+            else:
+                tuples = list(self.get_class(class_name).scan(snapshot))
+        return iter(tuples)
 
     def fetch(self, class_name: str, tid: TID,
               txn: Transaction | None = None,
               as_of: float | None = None) -> HeapTuple | None:
         """The visible tuple at *tid*, or ``None``."""
         snapshot = self.snapshot(txn, as_of=as_of)
-        return self.get_class(class_name).fetch(tid, snapshot)
+        with self._latch:
+            return self.get_class(class_name).fetch(tid, snapshot)
 
     def history(self, class_name: str, oid: int) -> list[dict]:
         """Every committed version of the logical tuple *oid*, oldest
@@ -338,11 +385,12 @@ class Database:
         included.  Uncommitted and aborted versions are skipped.
         """
         from repro.txn.xlog import TxnStatus
-        relation = self.get_class(class_name)
-        sources = [relation.scan_versions()]
-        archive = self.archiver.archive_relation(class_name)
-        if archive is not None:
-            sources.append(archive.scan_versions())
+        with self._latch:
+            relation = self.get_class(class_name)
+            sources = [list(relation.scan_versions())]
+            archive = self.archiver.archive_relation(class_name)
+            if archive is not None:
+                sources.append(list(archive.scan_versions()))
         versions = []
         seen = set()
         for source in sources:
@@ -375,17 +423,18 @@ class Database:
         — a defence against index entries that went stale between a
         deletion and the vacuum that prunes them.
         """
-        index = self.get_index(index_name)
-        entry = self.catalog.indexes[index_name]
-        relation = self.get_class(entry.relation)
-        position = relation.schema.position(entry.attribute)
         snapshot = self.snapshot(txn, as_of=as_of)
-        results = []
-        for blockno, slot in index.search((key,)):
-            tup = relation.fetch(TID(blockno, slot), snapshot)
-            if tup is not None and tup.values[position] == key:
-                results.append(tup)
-        return results
+        with self._latch:
+            index = self.get_index(index_name)
+            entry = self.catalog.indexes[index_name]
+            relation = self.get_class(entry.relation)
+            position = relation.schema.position(entry.attribute)
+            results = []
+            for blockno, slot in index.search((key,)):
+                tup = relation.fetch(TID(blockno, slot), snapshot)
+                if tup is not None and tup.values[position] == key:
+                    results.append(tup)
+            return results
 
     # -- ADT registration -------------------------------------------------------------------------
 
@@ -514,7 +563,8 @@ class Database:
 
         Keys: ``clock`` (simulated seconds by category), ``buffer`` (pool
         counters and hit rate), ``storage`` (per-manager physical access
-        counters), ``catalog`` (object counts), ``transactions``.
+        counters), ``catalog`` (object counts), ``transactions``, and
+        ``locks`` (grants, waits, wait time, deadlocks, victims).
         """
         storage = {}
         for name, smgr in self.switch.items():
@@ -543,6 +593,7 @@ class Database:
             "transactions": {
                 "active": self.tm.active_count(),
             },
+            "locks": self.locks.stats.as_dict(),
         }
 
     def close(self) -> None:

@@ -89,8 +89,18 @@ class LockError(TransactionError):
     """A lock could not be acquired."""
 
 
+class LockTimeout(LockError):
+    """A blocking lock request waited longer than its timeout."""
+
+
 class DeadlockError(LockError):
-    """Granting the requested lock would create a wait-for cycle."""
+    """The transaction was chosen as the victim of a wait-for cycle.
+
+    The holder of the exception **must abort** the transaction: the victim
+    still holds the locks that close the cycle, and only
+    :meth:`~repro.txn.manager.TransactionManager.abort` (which calls
+    ``release_all``) lets the surviving transactions proceed.
+    """
 
 
 class TypeError_(ReproError):

@@ -35,6 +35,7 @@ from repro.lo.vsegment import (
     segment_class_name,
     segment_index_name,
 )
+from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction
 
 if TYPE_CHECKING:
@@ -217,6 +218,12 @@ class LargeObjectManager:
 
     def _open_chunked(self, oid: int, txn: Transaction | None,
                       writable: bool, as_of: float | None) -> LargeObject:
+        if writable and txn is not None:
+            # Writers serialize per object (EXCLUSIVE, held to txn end);
+            # readers take no lock — no-overwrite versioning means they
+            # never see a writer's uncommitted chunks.
+            self.db.locks.acquire(txn.xid, ("largeobject", oid),
+                                  LockMode.EXCLUSIVE)
         entry = self.db.catalog.get_large_object(oid)
         compressor = get_compressor(entry.compression)
         if entry.impl == "fchunk":
@@ -248,6 +255,9 @@ class LargeObjectManager:
         self._unlink_chunked(txn, designator_oid(designator))
 
     def _unlink_chunked(self, txn: Transaction, oid: int) -> None:
+        # Same lock a writer takes: unlink must not race an open writer.
+        self.db.locks.acquire(txn.xid, ("largeobject", oid),
+                              LockMode.EXCLUSIVE)
         entry = self.db.catalog.get_large_object(oid)
         # Delete the size row (transactional part).
         snapshot = self.db.snapshot(txn)

@@ -14,6 +14,7 @@ two successive commits never share a timestamp.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 
 #: Minimum advance per ``now()`` call, so timestamps are strictly monotone.
@@ -31,6 +32,9 @@ class SimClock:
         self._elapsed = 0.0
         self._by_category: dict[str, float] = defaultdict(float)
         self._now_calls = 0
+        #: Concurrent sessions share one clock; charges must not be lost
+        #: and two commits must never draw the same timestamp.
+        self._mutex = threading.Lock()
 
     def advance(self, seconds: float, category: str = "other") -> None:
         """Charge *seconds* of simulated time to *category*.
@@ -39,13 +43,15 @@ class SimClock:
         """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
-        self._elapsed += seconds
-        self._by_category[category] += seconds
+        with self._mutex:
+            self._elapsed += seconds
+            self._by_category[category] += seconds
 
     def now(self) -> float:
         """Current simulated time in seconds, strictly monotone."""
-        self._now_calls += 1
-        return self._elapsed + self._now_calls * _TICK
+        with self._mutex:
+            self._now_calls += 1
+            return self._elapsed + self._now_calls * _TICK
 
     @property
     def elapsed(self) -> float:
@@ -68,9 +74,10 @@ class SimClock:
         """Zero the clock.  Timestamps handed out earlier stay valid only
         relative to each other, so reset between independent benchmark runs,
         never mid-database-lifetime when time travel matters."""
-        self._elapsed = 0.0
-        self._by_category.clear()
-        self._now_calls = 0
+        with self._mutex:
+            self._elapsed = 0.0
+            self._by_category.clear()
+            self._now_calls = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(elapsed={self._elapsed:.6f}s)"

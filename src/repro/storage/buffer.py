@@ -20,10 +20,17 @@ system:
 The pool charges a small CPU cost per lookup so simulated elapsed times
 include buffer-management overhead (the paper's "special purpose program"
 baseline explicitly has "no overhead for cache management").
+
+The pool is shared by every concurrent session, so each operation
+(lookup/pin, eviction, write-back, decoded-cache probe) runs under one
+re-entrant latch.  The latch covers the pool's own bookkeeping; *page
+content* mutation between pin and unpin is serialized one level up by the
+database's engine latch.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -103,6 +110,12 @@ class BufferManager:
         self.cpu = cpu if (cpu and clock) else None
         self.verify_checksums = verify_checksums
         self.stats = BufferStats()
+        #: Pool latch: page lookup/pin, eviction, write-back, and the
+        #: decoded-object cache are shared by every session, so each pool
+        #: operation runs atomically.  Re-entrant because flush paths nest
+        #: (flush_all → flush_file) and one thread may pin while holding
+        #: the latch through a ``page()`` block's nested pins.
+        self._latch = threading.RLock()
         self._frames: dict[tuple[int, str, int], Buffer] = {}
         self._sweep_order: list[tuple[int, str, int]] = []
         self._hand = 0
@@ -132,39 +145,42 @@ class BufferManager:
 
     def nblocks(self, smgr: "StorageManager", fileid: str) -> int:
         """Logical length of the file: device blocks plus unflushed tail."""
-        key = (id(smgr), fileid)
-        if key not in self._virtual_nblocks:
-            self._virtual_nblocks[key] = smgr.nblocks(fileid)
-        return self._virtual_nblocks[key]
+        with self._latch:
+            key = (id(smgr), fileid)
+            if key not in self._virtual_nblocks:
+                self._virtual_nblocks[key] = smgr.nblocks(fileid)
+            return self._virtual_nblocks[key]
 
     # -- pin / unpin -----------------------------------------------------------
 
     def pin(self, smgr: "StorageManager", fileid: str, blockno: int) -> Buffer:
         """Pin the page; reads it from the device on a pool miss."""
-        key = (id(smgr), fileid, blockno)
-        buf = self._frames.get(key)
-        if buf is not None:
-            self.stats.hits += 1
-            if buf.prefetched:
-                self.stats.prefetch_hits += 1
-                buf.prefetched = False
-            self._charge(_HIT_INSTRUCTIONS)
-            buf.pin_count += 1
-            buf.usage = min(buf.usage + 1, _MAX_USAGE)
-            return buf
+        with self._latch:
+            key = (id(smgr), fileid, blockno)
+            buf = self._frames.get(key)
+            if buf is not None:
+                self.stats.hits += 1
+                if buf.prefetched:
+                    self.stats.prefetch_hits += 1
+                    buf.prefetched = False
+                self._charge(_HIT_INSTRUCTIONS)
+                buf.pin_count += 1
+                buf.usage = min(buf.usage + 1, _MAX_USAGE)
+                return buf
 
-        self.stats.misses += 1
-        self._charge(_MISS_INSTRUCTIONS)
-        self._make_room()
-        raw = smgr.read_block(fileid, blockno)
-        page = SlottedPage(raw)
-        if self.verify_checksums and page.lsn != 0 and not page.verify_checksum():
-            raise ChecksumError(
-                f"checksum mismatch reading block {blockno} of {fileid!r}")
-        buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
-                     page=page, pin_count=1)
-        self._install(buf)
-        return buf
+            self.stats.misses += 1
+            self._charge(_MISS_INSTRUCTIONS)
+            self._make_room()
+            raw = smgr.read_block(fileid, blockno)
+            page = SlottedPage(raw)
+            if (self.verify_checksums and page.lsn != 0
+                    and not page.verify_checksum()):
+                raise ChecksumError(
+                    f"checksum mismatch reading block {blockno} of {fileid!r}")
+            buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
+                         page=page, pin_count=1)
+            self._install(buf)
+            return buf
 
     def prefetch(self, smgr: "StorageManager", fileid: str,
                  blockno: int, count: int) -> int:
@@ -174,41 +190,44 @@ class BufferManager:
         they are cheap to evict if the guess was wrong, but a streaming
         reader finds them resident.  Returns how many were actually read.
         """
-        limit = min(blockno + count, smgr.nblocks(fileid))
-        fetched = 0
-        for block in range(max(0, blockno), limit):
-            key = (id(smgr), fileid, block)
-            if key in self._frames:
-                continue
-            self._charge(_MISS_INSTRUCTIONS)
-            self._make_room()
-            raw = smgr.read_block(fileid, block)
-            page = SlottedPage(raw)
-            if (self.verify_checksums and page.lsn != 0
-                    and not page.verify_checksum()):
-                raise ChecksumError(
-                    f"checksum mismatch prefetching block {block} "
-                    f"of {fileid!r}")
-            buf = Buffer(smgr=smgr, fileid=fileid, blockno=block,
-                         page=page, pin_count=0, usage=1, prefetched=True)
-            self._install(buf)
-            fetched += 1
-        self.stats.prefetched += fetched
-        return fetched
+        with self._latch:
+            limit = min(blockno + count, smgr.nblocks(fileid))
+            fetched = 0
+            for block in range(max(0, blockno), limit):
+                key = (id(smgr), fileid, block)
+                if key in self._frames:
+                    continue
+                self._charge(_MISS_INSTRUCTIONS)
+                self._make_room()
+                raw = smgr.read_block(fileid, block)
+                page = SlottedPage(raw)
+                if (self.verify_checksums and page.lsn != 0
+                        and not page.verify_checksum()):
+                    raise ChecksumError(
+                        f"checksum mismatch prefetching block {block} "
+                        f"of {fileid!r}")
+                buf = Buffer(smgr=smgr, fileid=fileid, blockno=block,
+                             page=page, pin_count=0, usage=1,
+                             prefetched=True)
+                self._install(buf)
+                fetched += 1
+            self.stats.prefetched += fetched
+            return fetched
 
     def allocate(self, smgr: "StorageManager", fileid: str,
                  special_size: int = 0) -> Buffer:
         """Append a fresh, pinned, dirty page to the file (no device I/O)."""
-        self.stats.allocations += 1
-        self._charge(_MISS_INSTRUCTIONS)
-        self._make_room()
-        blockno = self.nblocks(smgr, fileid)
-        self._virtual_nblocks[(id(smgr), fileid)] = blockno + 1
-        buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
-                     page=SlottedPage(special_size=special_size),
-                     dirty=True, pin_count=1)
-        self._install(buf)
-        return buf
+        with self._latch:
+            self.stats.allocations += 1
+            self._charge(_MISS_INSTRUCTIONS)
+            self._make_room()
+            blockno = self.nblocks(smgr, fileid)
+            self._virtual_nblocks[(id(smgr), fileid)] = blockno + 1
+            buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
+                         page=SlottedPage(special_size=special_size),
+                         dirty=True, pin_count=1)
+            self._install(buf)
+            return buf
 
     # -- decoded-object side cache ---------------------------------------------
 
@@ -224,44 +243,48 @@ class BufferManager:
         write must go through :meth:`put_decoded` or
         :meth:`drop_decoded`.
         """
-        key = (id(smgr), fileid, blockno)
-        obj = self._decoded.get(key)
-        if obj is None:
-            self.stats.node_cache_misses += 1
-            return None
-        self._decoded.move_to_end(key)
-        self.stats.node_cache_hits += 1
-        self._charge(_DECODED_HIT_INSTRUCTIONS)
-        return obj
+        with self._latch:
+            key = (id(smgr), fileid, blockno)
+            obj = self._decoded.get(key)
+            if obj is None:
+                self.stats.node_cache_misses += 1
+                return None
+            self._decoded.move_to_end(key)
+            self.stats.node_cache_hits += 1
+            self._charge(_DECODED_HIT_INSTRUCTIONS)
+            return obj
 
     def put_decoded(self, smgr: "StorageManager", fileid: str,
                     blockno: int, obj: object) -> None:
         """Install (or overwrite) the decoded form of a page."""
-        key = (id(smgr), fileid, blockno)
-        self._decoded[key] = obj
-        self._decoded.move_to_end(key)
-        while len(self._decoded) > self._decoded_limit:
-            self._decoded.popitem(last=False)
+        with self._latch:
+            key = (id(smgr), fileid, blockno)
+            self._decoded[key] = obj
+            self._decoded.move_to_end(key)
+            while len(self._decoded) > self._decoded_limit:
+                self._decoded.popitem(last=False)
 
     def drop_decoded(self, smgr: "StorageManager", fileid: str,
                      blockno: int | None = None) -> None:
         """Forget decoded pages of a file (one block, or all of them)."""
-        if blockno is not None:
-            self._decoded.pop((id(smgr), fileid, blockno), None)
-            return
-        stale = [key for key in self._decoded
-                 if key[0] == id(smgr) and key[1] == fileid]
-        for key in stale:
-            del self._decoded[key]
+        with self._latch:
+            if blockno is not None:
+                self._decoded.pop((id(smgr), fileid, blockno), None)
+                return
+            stale = [key for key in self._decoded
+                     if key[0] == id(smgr) and key[1] == fileid]
+            for key in stale:
+                del self._decoded[key]
 
     def unpin(self, buf: Buffer, dirty: bool = False) -> None:
         """Release one pin; *dirty* marks the page as modified."""
-        if buf.pin_count <= 0:
-            raise BufferError_(
-                f"unpin of unpinned buffer {buf.fileid!r}:{buf.blockno}")
-        buf.pin_count -= 1
-        if dirty:
-            buf.dirty = True
+        with self._latch:
+            if buf.pin_count <= 0:
+                raise BufferError_(
+                    f"unpin of unpinned buffer {buf.fileid!r}:{buf.blockno}")
+            buf.pin_count -= 1
+            if dirty:
+                buf.dirty = True
 
     @contextmanager
     def page(self, smgr: "StorageManager", fileid: str, blockno: int,
@@ -364,47 +387,53 @@ class BufferManager:
         write-backs (:meth:`_writeback_batch`), and skipping the sync for
         it would leave a committed transaction's pages in the OS cache.
         """
-        dirty = sorted(
-            (buf for buf in self._frames.values()
-             if buf.smgr is smgr and buf.fileid == fileid and buf.dirty),
-            key=lambda b: b.blockno)
-        for buf in dirty:
-            if buf.dirty:  # _writeback may have flushed it as a hole-filler
-                self._writeback(buf)
-        smgr.sync(fileid)
-        return len(dirty)
+        with self._latch:
+            dirty = sorted(
+                (buf for buf in self._frames.values()
+                 if buf.smgr is smgr and buf.fileid == fileid and buf.dirty),
+                key=lambda b: b.blockno)
+            for buf in dirty:
+                if buf.dirty:  # _writeback may have flushed it (hole-fill)
+                    self._writeback(buf)
+            smgr.sync(fileid)
+            return len(dirty)
 
     def flush_all(self) -> int:
         """Write every dirty page in the pool (checkpoint)."""
-        written = 0
-        by_file: dict[tuple[int, str], StorageManager] = {}
-        for buf in self._frames.values():
-            if buf.dirty:
-                by_file[(id(buf.smgr), buf.fileid)] = buf.smgr
-        for (_smgr_id, fileid), smgr in sorted(by_file.items(),
-                                               key=lambda kv: kv[0][1]):
-            written += self.flush_file(smgr, fileid)
-        return written
+        with self._latch:
+            written = 0
+            by_file: dict[tuple[int, str], StorageManager] = {}
+            for buf in self._frames.values():
+                if buf.dirty:
+                    by_file[(id(buf.smgr), buf.fileid)] = buf.smgr
+            for (_smgr_id, fileid), smgr in sorted(by_file.items(),
+                                                   key=lambda kv: kv[0][1]):
+                written += self.flush_file(smgr, fileid)
+            return written
 
     def drop_file(self, smgr: "StorageManager", fileid: str) -> None:
         """Discard (without writing) all buffered pages of a dropped file."""
-        stale = [key for key, buf in self._frames.items()
-                 if buf.smgr is smgr and buf.fileid == fileid]
-        for key in stale:
-            del self._frames[key]
-        self._virtual_nblocks.pop((id(smgr), fileid), None)
-        self.drop_decoded(smgr, fileid)
+        with self._latch:
+            stale = [key for key, buf in self._frames.items()
+                     if buf.smgr is smgr and buf.fileid == fileid]
+            for key in stale:
+                del self._frames[key]
+            self._virtual_nblocks.pop((id(smgr), fileid), None)
+            self.drop_decoded(smgr, fileid)
 
     def pinned_count(self) -> int:
         """Number of frames with at least one pin (should be 0 at rest)."""
-        return sum(1 for buf in self._frames.values() if buf.pin_count > 0)
+        with self._latch:
+            return sum(1 for buf in self._frames.values()
+                       if buf.pin_count > 0)
 
     def invalidate_all(self) -> None:
         """Flush everything, then empty the pool (cold-start benchmarks)."""
-        if self.pinned_count():
-            raise BufferError_("cannot invalidate while pages are pinned")
-        self.flush_all()
-        self._frames.clear()
-        self._sweep_order.clear()
-        self._decoded.clear()
-        self._hand = 0
+        with self._latch:
+            if self.pinned_count():
+                raise BufferError_("cannot invalidate while pages are pinned")
+            self.flush_all()
+            self._frames.clear()
+            self._sweep_order.clear()
+            self._decoded.clear()
+            self._hand = 0

@@ -1,11 +1,28 @@
-"""Two-phase locking with shared/exclusive modes and no-wait conflicts.
+"""Two-phase locking with shared/exclusive modes, blocking or no-wait.
 
-The library runs transactions cooperatively in one process, so a lock that
-cannot be granted raises :class:`~repro.errors.LockError` immediately (the
-classic *no-wait* policy) instead of blocking — blocking would deadlock a
-single-threaded caller, and no-wait makes deadlock impossible by
-construction.  Locks are held until end of transaction (strict 2PL) and
-released in bulk by the transaction manager.
+The lock manager serves two deployment shapes:
+
+* **Blocking (the default).**  A request that cannot be granted joins a
+  FIFO wait queue and the calling thread sleeps until a release makes it
+  grantable.  Before sleeping, the waiter runs **wait-for-graph deadlock
+  detection**: if the new wait edge closes a cycle, the youngest
+  transaction in the cycle is chosen as victim and its ``acquire`` raises
+  :class:`~repro.errors.DeadlockError` (the victim's session must then
+  abort, which releases its locks and unblocks the survivors).  Detection
+  is synchronous and graph-based — no background thread, no timeout
+  heuristics — so a two-session cycle is resolved within one wakeup.
+
+* **No-wait (``no_wait=True``), the paper-faithful policy.**  A lock that
+  cannot be granted raises :class:`~repro.errors.LockError` immediately.
+  The original POSTGRES library ran transactions cooperatively in one
+  process, where blocking would hang the only thread and no-wait makes
+  deadlock impossible by construction.
+
+Locks are held until end of transaction (strict 2PL) and released in bulk
+by the transaction manager.  Grant order is FIFO with two exceptions that
+match classic lock managers: a SHARED→EXCLUSIVE *upgrade* depends only on
+the other holders (it never queues behind fresh requests, which would
+self-deadlock), and compatible re-acquisition is a no-op.
 
 Resources are identified by arbitrary hashable keys; the conventional keys
 are ``("relation", name)`` and ``("largeobject", oid)``.
@@ -14,10 +31,13 @@ are ``("relation", name)`` and ``("largeobject", oid)``.
 from __future__ import annotations
 
 import enum
+import threading
+import time
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Hashable
 
-from repro.errors import LockError
+from repro.errors import DeadlockError, LockError, LockTimeout
 
 
 class LockMode(enum.Enum):
@@ -27,65 +47,371 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "exclusive"
 
 
-class LockManager:
-    """Grant table mapping resource keys to holder xids and modes."""
+def _compatible(held: LockMode, wanted: LockMode) -> bool:
+    return held is LockMode.SHARED and wanted is LockMode.SHARED
 
-    def __init__(self) -> None:
+
+@dataclass
+class LockStats:
+    """Counters surfaced through ``db.statistics()["locks"]``."""
+
+    #: Requests granted without blocking (includes no-op re-acquires).
+    granted_immediately: int = 0
+    #: Requests that had to join a wait queue.
+    waits: int = 0
+    #: Wall-clock seconds spent blocked, summed over all waiters.
+    wait_time: float = 0.0
+    #: Wait-for cycles found by the detector.
+    deadlocks_detected: int = 0
+    #: Waiters that raised :class:`DeadlockError` as the chosen victim.
+    victims: int = 0
+    #: Waiters that gave up after their timeout.
+    timeouts: int = 0
+    #: SHARED → EXCLUSIVE upgrades granted.
+    upgrades: int = 0
+    #: Locks dropped by :meth:`LockManager.release_all`.
+    released: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "granted_immediately": self.granted_immediately,
+            "waits": self.waits,
+            "wait_time": self.wait_time,
+            "deadlocks_detected": self.deadlocks_detected,
+            "victims": self.victims,
+            "timeouts": self.timeouts,
+            "upgrades": self.upgrades,
+            "released": self.released,
+        }
+
+
+class _Waiter:
+    """One blocked ``acquire`` call, parked in a resource's FIFO queue."""
+
+    __slots__ = ("xid", "resource", "mode", "upgrade", "granted", "victim",
+                 "cycle", "grant_count")
+
+    def __init__(self, xid: int, resource: Hashable, mode: LockMode,
+                 upgrade: bool):
+        self.xid = xid
+        self.resource = resource
+        self.mode = mode
+        #: The waiter already holds SHARED and wants EXCLUSIVE.
+        self.upgrade = upgrade
+        self.granted = False
+        self.victim = False
+        self.cycle: list[int] | None = None
+        #: Times a grant pass woke this waiter; must end up exactly 1.
+        self.grant_count = 0
+
+
+class LockManager:
+    """Grant table + wait queues mapping resource keys to holder xids.
+
+    Parameters
+    ----------
+    no_wait:
+        Default conflict policy; ``True`` restores the paper's no-wait
+        rejection.  Overridable per call.
+    timeout:
+        Default bound (seconds) on any blocking wait, raising
+        :class:`LockTimeout` when exceeded; ``None`` waits forever.
+        Deadlocks are detected by the graph check regardless — the
+        timeout is a safety net for waits on sessions that simply never
+        finish, not the detection mechanism.
+    """
+
+    def __init__(self, no_wait: bool = False,
+                 timeout: float | None = None) -> None:
+        self.no_wait = no_wait
+        self.timeout = timeout
+        self.stats = LockStats()
+        self._cond = threading.Condition(threading.Lock())
         #: resource -> {xid: mode}
         self._grants: dict[Hashable, dict[int, LockMode]] = defaultdict(dict)
+        #: resource -> FIFO of blocked requests
+        self._waiters: dict[Hashable, list[_Waiter]] = {}
 
-    def acquire(self, xid: int, resource: Hashable, mode: LockMode) -> None:
-        """Grant *mode* on *resource* to *xid*, or raise :class:`LockError`.
+    # -- acquisition ---------------------------------------------------------------
+
+    def acquire(self, xid: int, resource: Hashable, mode: LockMode, *,
+                no_wait: bool | None = None,
+                timeout: float | None = None) -> None:
+        """Grant *mode* on *resource* to *xid*, waiting if necessary.
 
         Re-acquiring an already-held mode is a no-op; holding SHARED and
         asking for EXCLUSIVE upgrades when no other transaction holds the
-        lock.
+        lock.  In no-wait mode an ungrantable request raises
+        :class:`LockError`; in blocking mode the call sleeps until granted,
+        raises :class:`DeadlockError` if this transaction is picked as a
+        deadlock victim, or :class:`LockTimeout` after *timeout* seconds.
         """
+        wait_allowed = not (self.no_wait if no_wait is None else no_wait)
+        if timeout is None:
+            timeout = self.timeout
+        with self._cond:
+            if self._try_grant(xid, resource, mode):
+                self.stats.granted_immediately += 1
+                return
+            if not wait_allowed:
+                raise LockError(self._conflict_message(xid, resource, mode))
+            self._wait(xid, resource, mode, timeout)
+
+    def _wait(self, xid: int, resource: Hashable, mode: LockMode,
+              timeout: float | None) -> None:
+        """Park the caller until granted, victimized, or timed out.
+
+        Runs with ``self._cond`` held (re-taken around each sleep).
+        """
+        holders = self._grants.get(resource, {})
+        waiter = _Waiter(xid, resource, mode, upgrade=xid in holders)
+        self._waiters.setdefault(resource, []).append(waiter)
+        self.stats.waits += 1
+        started = time.monotonic()
+        cycle = self._find_cycle(xid)
+        if cycle is not None:
+            self._victimize(cycle)
+        try:
+            while not waiter.granted and not waiter.victim:
+                if timeout is None:
+                    self._cond.wait()
+                    continue
+                remaining = timeout - (time.monotonic() - started)
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    break
+        finally:
+            self.stats.wait_time += time.monotonic() - started
+            if not waiter.granted:
+                self._remove_waiter(waiter)
+        if waiter.granted:
+            return
+        if waiter.victim:
+            self.stats.victims += 1
+            raise DeadlockError(
+                f"txn {xid} chosen as deadlock victim waiting for "
+                f"{mode.value} lock on {resource!r} "
+                f"(wait-for cycle: {waiter.cycle})")
+        self.stats.timeouts += 1
+        raise LockTimeout(
+            f"txn {xid} timed out after {timeout}s waiting for "
+            f"{mode.value} lock on {resource!r} "
+            f"(held by txns {sorted(self.holders(resource))})")
+
+    def _try_grant(self, xid: int, resource: Hashable,
+                   mode: LockMode) -> bool:
+        """Grant immediately if compatible with holders and queue fairness."""
         holders = self._grants[resource]
         held = holders.get(xid)
-        if held == LockMode.EXCLUSIVE or held == mode:
-            return
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return True
         others = {x: m for x, m in holders.items() if x != xid}
-        if mode == LockMode.SHARED:
-            if any(m == LockMode.EXCLUSIVE for m in others.values()):
-                raise LockError(
-                    f"txn {xid} cannot share-lock {resource!r}: "
-                    f"exclusively held by txn "
-                    f"{self._exclusive_holder(others)}")
-        else:
+        if held is not None:  # SHARED holder asking for EXCLUSIVE
             if others:
-                raise LockError(
-                    f"txn {xid} cannot exclusive-lock {resource!r}: "
-                    f"held by txns {sorted(others)}")
+                return False
+            holders[xid] = LockMode.EXCLUSIVE
+            self.stats.upgrades += 1
+            return True
+        if any(not _compatible(m, mode) for m in others.values()):
+            return False
+        # Fairness: a fresh request never overtakes a conflicting waiter.
+        for earlier in self._waiters.get(resource, ()):
+            if not (earlier.mode is LockMode.SHARED
+                    and mode is LockMode.SHARED):
+                return False
         holders[xid] = mode
+        return True
 
-    @staticmethod
-    def _exclusive_holder(others: dict[int, LockMode]) -> int:
-        return next(x for x, m in others.items() if m == LockMode.EXCLUSIVE)
+    def _conflict_message(self, xid: int, resource: Hashable,
+                          mode: LockMode) -> str:
+        holders = {x: m for x, m in self._grants.get(resource, {}).items()
+                   if x != xid}
+        if mode is LockMode.SHARED and any(
+                m is LockMode.EXCLUSIVE for m in holders.values()):
+            exclusive = next(x for x, m in holders.items()
+                             if m is LockMode.EXCLUSIVE)
+            return (f"txn {xid} cannot share-lock {resource!r}: "
+                    f"exclusively held by txn {exclusive}")
+        return (f"txn {xid} cannot {mode.value}-lock {resource!r}: "
+                f"held by txns {sorted(holders)}")
+
+    # -- wait-queue service ----------------------------------------------------------
+
+    def _grantable_queued(self, resource: Hashable, waiter: _Waiter) -> bool:
+        holders = self._grants.get(resource, {})
+        others = {x: m for x, m in holders.items() if x != waiter.xid}
+        if waiter.xid in holders:  # upgrade: depends only on other holders
+            return not others
+        if any(not _compatible(m, waiter.mode) for m in others.values()):
+            return False
+        for earlier in self._waiters.get(resource, ()):
+            if earlier is waiter:
+                return True
+            if not (earlier.mode is LockMode.SHARED
+                    and waiter.mode is LockMode.SHARED):
+                return False
+        return True
+
+    def _grant_waiters(self, resource: Hashable) -> bool:
+        """Grant every now-eligible waiter on *resource* (FIFO, upgrades
+        by holder-compatibility).  Returns whether anything was granted."""
+        queue = self._waiters.get(resource)
+        if not queue:
+            return False
+        granted_any = False
+        progress = True
+        while progress:
+            progress = False
+            for waiter in list(queue):
+                if not self._grantable_queued(resource, waiter):
+                    continue
+                holders = self._grants[resource]
+                if waiter.xid in holders:
+                    self.stats.upgrades += 1
+                    holders[waiter.xid] = LockMode.EXCLUSIVE
+                else:
+                    holders[waiter.xid] = waiter.mode
+                queue.remove(waiter)
+                waiter.granted = True
+                waiter.grant_count += 1
+                granted_any = progress = True
+        if not queue:
+            del self._waiters[resource]
+        return granted_any
+
+    def _remove_waiter(self, waiter: _Waiter) -> None:
+        queue = self._waiters.get(waiter.resource)
+        if queue is None or waiter not in queue:
+            return
+        queue.remove(waiter)
+        if not queue:
+            del self._waiters[waiter.resource]
+        # Our departure may unblock waiters that were queued behind us.
+        elif self._grant_waiters(waiter.resource):
+            self._cond.notify_all()
+
+    # -- deadlock detection ------------------------------------------------------------
+
+    def _waits_for(self) -> dict[int, set[int]]:
+        """The wait-for graph: waiter xid → xids it cannot proceed past.
+
+        Edges run to every conflicting *holder* and — for fresh requests,
+        which queue FIFO — to every conflicting *earlier waiter* (that
+        waiter will become a holder first).  Upgrades wait only on the
+        other holders; the queue cannot delay them.
+        """
+        edges: dict[int, set[int]] = defaultdict(set)
+        for resource, queue in self._waiters.items():
+            holders = self._grants.get(resource, {})
+            for position, waiter in enumerate(queue):
+                for xid, m in holders.items():
+                    if xid != waiter.xid and not _compatible(m, waiter.mode):
+                        edges[waiter.xid].add(xid)
+                if waiter.upgrade:
+                    continue
+                for earlier in queue[:position]:
+                    if earlier.xid != waiter.xid and not (
+                            earlier.mode is LockMode.SHARED
+                            and waiter.mode is LockMode.SHARED):
+                        edges[waiter.xid].add(earlier.xid)
+        return edges
+
+    def _find_cycle(self, start: int) -> list[int] | None:
+        """A wait-for cycle through *start*, or ``None``.
+
+        Any new cycle must pass through the transaction that just blocked
+        (edges are only added when an ``acquire`` blocks), so searching
+        from *start* is complete.
+        """
+        edges = self._waits_for()
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        visited: set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            for succ in edges.get(node, ()):
+                if succ == start:
+                    return path
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def _victimize(self, cycle: list[int]) -> None:
+        """Abort-by-exception the youngest (highest-xid) cycle member.
+
+        Every cycle member is blocked in ``acquire`` by construction, so
+        the victim is always a parked waiter we can wake with an error.
+        """
+        self.stats.deadlocks_detected += 1
+        victim_xid = max(cycle)
+        for queue in self._waiters.values():
+            for waiter in queue:
+                if waiter.xid == victim_xid and not waiter.victim:
+                    waiter.victim = True
+                    waiter.cycle = sorted(cycle)
+                    self._cond.notify_all()
+                    return
+
+    # -- release -----------------------------------------------------------------------
 
     def release_all(self, xid: int) -> int:
-        """Drop every lock held by *xid* (end of transaction)."""
-        released = 0
-        empty = []
-        for resource, holders in self._grants.items():
-            if holders.pop(xid, None) is not None:
-                released += 1
-            if not holders:
-                empty.append(resource)
-        for resource in empty:
-            del self._grants[resource]
-        return released
+        """Drop every lock held by *xid* (end of transaction) and grant
+        any waiters that become eligible.  Each blocked waiter is woken
+        (granted) at most once.  Returns the number of locks released."""
+        with self._cond:
+            released = 0
+            touched = []
+            for resource, holders in list(self._grants.items()):
+                if holders.pop(xid, None) is not None:
+                    released += 1
+                    touched.append(resource)
+                if not holders and resource not in self._waiters:
+                    del self._grants[resource]
+            # A txn aborted from outside acquire() may still have a parked
+            # waiter (e.g. a victimized thread racing its own cleanup).
+            for resource, queue in list(self._waiters.items()):
+                kept = [w for w in queue if w.xid != xid]
+                if len(kept) != len(queue):
+                    self._waiters[resource] = kept
+                    if not kept:
+                        del self._waiters[resource]
+                    touched.append(resource)
+            woke = False
+            for resource in touched:
+                woke |= self._grant_waiters(resource)
+            if woke or released:
+                self._cond.notify_all()
+            self.stats.released += released
+            return released
+
+    # -- introspection --------------------------------------------------------------------
 
     def holds(self, xid: int, resource: Hashable,
               mode: LockMode | None = None) -> bool:
         """Whether *xid* holds a lock (of *mode*, if given) on *resource*."""
-        held = self._grants.get(resource, {}).get(xid)
+        with self._cond:
+            held = self._grants.get(resource, {}).get(xid)
         if held is None:
             return False
         if mode is None:
             return True
-        return held == mode or held == LockMode.EXCLUSIVE
+        return held is mode or held is LockMode.EXCLUSIVE
 
     def holders(self, resource: Hashable) -> dict[int, LockMode]:
         """Current holders of *resource* (copy)."""
-        return dict(self._grants.get(resource, {}))
+        with self._cond:
+            return dict(self._grants.get(resource, {}))
+
+    def waiting(self, resource: Hashable | None = None) -> list[tuple]:
+        """Parked requests, as ``(xid, resource, mode)``, FIFO per key."""
+        with self._cond:
+            queues = ([(resource, self._waiters.get(resource, []))]
+                      if resource is not None
+                      else list(self._waiters.items()))
+            return [(w.xid, res, w.mode)
+                    for res, queue in queues for w in queue]
+
+    def grant_table_empty(self) -> bool:
+        """Whether no locks are held and no waiters are parked."""
+        with self._cond:
+            return (not self._waiters
+                    and not any(self._grants.values()))

@@ -22,6 +22,7 @@ aborted.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable
 
 from repro.errors import NoActiveTransaction, SimulatedCrash, TransactionError
@@ -100,6 +101,9 @@ class TransactionManager:
         self.locks = locks
         self.clock = clock
         self._active: dict[int, Transaction] = {}
+        #: Guards the active-transaction table: sessions begin/commit/abort
+        #: concurrently, and snapshots must see a consistent active set.
+        self._mutex = threading.Lock()
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -107,7 +111,8 @@ class TransactionManager:
         """Start a new transaction."""
         xid = self.clog.allocate_xid()
         txn = Transaction(xid, self)
-        self._active[xid] = txn
+        with self._mutex:
+            self._active[xid] = txn
         return txn
 
     def commit(self, txn: Transaction) -> None:
@@ -147,7 +152,8 @@ class TransactionManager:
         self._finish(txn, txn.on_abort)
 
     def _finish(self, txn: Transaction, hooks: list[Callable[[], None]]) -> None:
-        self._active.pop(txn.xid, None)
+        with self._mutex:
+            self._active.pop(txn.xid, None)
         self.locks.release_all(txn.xid)
         failures = []
         for hook in hooks:
@@ -172,13 +178,19 @@ class TransactionManager:
         ``CLASS["t1", "t2"]``).
         """
         xid = txn.xid if txn is not None else 0
-        active = frozenset(x for x in self._active if x != xid)
+        # Ceiling first: a transaction that begins between the two reads
+        # then lands above the ceiling (invisible) instead of slipping past
+        # the active set and becoming visible once it commits.
+        ceiling = self.clog.next_xid
+        with self._mutex:
+            active = frozenset(x for x in self._active if x != xid)
         return Snapshot(xid=xid, active_xids=active, as_of=as_of,
-                        until=until, xid_ceiling=self.clog.next_xid)
+                        until=until, xid_ceiling=ceiling)
 
     def active_count(self) -> int:
         """Number of transactions currently in progress."""
-        return len(self._active)
+        with self._mutex:
+            return len(self._active)
 
     def require_transaction(self, txn: Transaction | None) -> Transaction:
         """Validate that *txn* is a live transaction (helper for callers)."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 import os
 import struct
+import threading
 
 from repro.errors import TransactionError
 from repro.storage.constants import FIRST_XID, INVALID_XID
@@ -49,6 +50,10 @@ class CommitLog:
 
     def __init__(self, path: str | None = None):
         self.path = path
+        #: Serializes xid allocation and record appends across sessions —
+        #: concurrent commits must not interleave torn half-records, and an
+        #: xid must never be handed to two threads.
+        self._mutex = threading.Lock()
         self._status: dict[int, TxnStatus] = {}
         self._commit_time: dict[int, float] = {}
         self._next_xid = FIRST_XID
@@ -120,18 +125,20 @@ class CommitLog:
 
         Before crossing the on-disk reservation boundary, a high-water-mark
         record reserving the next batch of xids is forced to the log, so no
-        xid can ever be handed out twice across a crash.
+        xid can ever be handed out twice across a crash.  Allocation is
+        thread-safe: concurrent sessions each get a distinct xid.
         """
-        xid = self._next_xid
-        if self._handle is not None and xid >= self._reserved_until:
-            self._reserved_until = xid + _XID_BATCH
-            self._handle.write(
-                _RECORD.pack(self._reserved_until, _HWM_RECORD, 0.0))
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-        self._next_xid += 1
-        self._status[xid] = TxnStatus.IN_PROGRESS
-        return xid
+        with self._mutex:
+            xid = self._next_xid
+            if self._handle is not None and xid >= self._reserved_until:
+                self._reserved_until = xid + _XID_BATCH
+                self._handle.write(
+                    _RECORD.pack(self._reserved_until, _HWM_RECORD, 0.0))
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._next_xid += 1
+            self._status[xid] = TxnStatus.IN_PROGRESS
+            return xid
 
     # -- status transitions ---------------------------------------------------------
 
@@ -141,16 +148,18 @@ class CommitLog:
         The record is forced to disk *before* the in-memory status flips:
         a commit that never became durable must never become visible.
         """
-        self._require_in_progress(xid)
-        self._append(xid, TxnStatus.COMMITTED, commit_time)
-        self._status[xid] = TxnStatus.COMMITTED
-        self._commit_time[xid] = commit_time
+        with self._mutex:
+            self._require_in_progress(xid)
+            self._append(xid, TxnStatus.COMMITTED, commit_time)
+            self._status[xid] = TxnStatus.COMMITTED
+            self._commit_time[xid] = commit_time
 
     def set_aborted(self, xid: int) -> None:
         """Record that *xid* aborted."""
-        self._require_in_progress(xid)
-        self._append(xid, TxnStatus.ABORTED, 0.0)
-        self._status[xid] = TxnStatus.ABORTED
+        with self._mutex:
+            self._require_in_progress(xid)
+            self._append(xid, TxnStatus.ABORTED, 0.0)
+            self._status[xid] = TxnStatus.ABORTED
 
     def _require_in_progress(self, xid: int) -> None:
         status = self.status(xid)

@@ -1,6 +1,7 @@
 """Shared fixtures: a wired-up storage/transaction stack without the DB façade."""
 
 import itertools
+import threading
 
 import pytest
 
@@ -8,6 +9,25 @@ from repro.sim import SimClock
 from repro.smgr import MemoryStorageManager
 from repro.storage import BufferManager
 from repro.txn import CommitLog, LockManager, TransactionManager
+
+
+@pytest.fixture(autouse=True)
+def fail_on_leaked_threads():
+    """Fail fast when a test leaves a non-daemon thread running.
+
+    A leaked worker usually means a lock wait that never woke up; without
+    this guard it surfaces as the whole pytest process hanging at exit,
+    far from the culprit.  (Daemon threads are tolerated: the threaded
+    tests use them precisely so a stuck waiter fails an assertion instead
+    of wedging the interpreter.)
+    """
+    before = set(threading.enumerate())
+    yield
+    leaked = [t for t in threading.enumerate()
+              if t not in before and t.is_alive() and not t.daemon]
+    if leaked:
+        names = ", ".join(t.name for t in leaked)
+        pytest.fail(f"test leaked non-daemon thread(s): {names}")
 
 
 class Stack:

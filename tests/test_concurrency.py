@@ -1,17 +1,21 @@
 """Interleaved-transaction stress tests.
 
 Transactions run cooperatively in one process, but the machinery under
-test — snapshots, xmax stamping, no-wait 2PL, commit ordering — is the
-real thing.  These tests interleave many logical transactions and check
-that every isolation promise survives.
+test — snapshots, xmax stamping, 2PL, commit ordering — is the real
+thing.  These tests interleave many logical transactions and check that
+every isolation promise survives.  The deadlock matrix at the bottom
+uses real threads: blocked lock requests park, and the wait-for-graph
+detector must pick exactly one victim per cycle.
 """
 
 import random
+import threading
 
 import pytest
 
 from repro.db import Database
-from repro.errors import LockError, TransactionError
+from repro.errors import DeadlockError, LockError, TransactionError
+from repro.txn.locks import LockMode
 
 
 @pytest.fixture
@@ -75,7 +79,9 @@ class TestInterleavedWriters:
         assert winners == 5
         assert next(db.scan("T")).values == (3,)
 
-    def test_lock_conflicts_are_no_wait(self, db):
+    def test_lock_conflicts_are_no_wait(self):
+        """``no_wait=True`` restores the paper-faithful rejection policy."""
+        db = Database(charge_cpu=False, no_wait=True)
         db.create_class("T", [("n", "int4")])
         from repro.txn.locks import LockMode
         a = db.begin()
@@ -86,6 +92,7 @@ class TestInterleavedWriters:
         a.commit()
         db.insert(b, "T", (1,))  # free after commit
         b.commit()
+        db.close()
 
 
 class TestInterleavedLargeObjects:
@@ -162,3 +169,129 @@ class TestCommitOrderingAndTime:
 
         assert [t.values for t in db.scan("T", as_of=after_early)] == [(1,)]
         assert [t.values for t in db.scan("T")] == [(2,)]
+
+
+class TestDeadlockMatrix:
+    """Wait-for cycles of every flavour: one victim, survivors finish.
+
+    Detection is synchronous (the parking waiter walks the wait-for
+    graph), so no test here relies on a timeout to break a cycle — the
+    generous ``join`` bounds only guard against a hung regression.
+    """
+
+    def _race(self, workers, timeout=15.0):
+        """Run the worker callables in threads; fail instead of hanging."""
+        threads = [threading.Thread(target=fn, daemon=True)
+                   for fn in workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout)
+        assert not any(t.is_alive() for t in threads), \
+            "deadlock was not detected within the bound"
+
+    def _contender(self, db, txn, acquires, outcome, start):
+        """Acquire each (resource, mode) in turn; commit, or abort as victim."""
+        def run():
+            start.wait(10)
+            try:
+                for resource, mode in acquires:
+                    db.locks.acquire(txn.xid, resource, mode)
+                txn.commit()
+                outcome[txn.xid] = "committed"
+            except DeadlockError:
+                txn.abort()  # the victim must abort to break the cycle
+                outcome[txn.xid] = "aborted"
+        return run
+
+    def test_two_cycle_one_victim(self, db):
+        a, b = db.begin(), db.begin()
+        db.locks.acquire(a.xid, "X", LockMode.EXCLUSIVE)
+        db.locks.acquire(b.xid, "Y", LockMode.EXCLUSIVE)
+        outcome = {}
+        start = threading.Barrier(2)
+        self._race([
+            self._contender(db, a, [("Y", LockMode.EXCLUSIVE)],
+                            outcome, start),
+            self._contender(db, b, [("X", LockMode.EXCLUSIVE)],
+                            outcome, start),
+        ])
+        assert sorted(outcome.values()) == ["aborted", "committed"]
+        # The victim is the youngest transaction in the cycle.
+        assert outcome[max(a.xid, b.xid)] == "aborted"
+        assert db.locks.grant_table_empty()
+        stats = db.statistics()["locks"]
+        assert stats["deadlocks_detected"] == 1
+        assert stats["victims"] == 1
+
+    def test_three_cycle_one_victim(self, db):
+        txns = [db.begin() for _ in range(3)]
+        held = ["X", "Y", "Z"]
+        for txn, resource in zip(txns, held):
+            db.locks.acquire(txn.xid, resource, LockMode.EXCLUSIVE)
+        outcome = {}
+        start = threading.Barrier(3)
+        self._race([
+            self._contender(db, txn, [(held[(i + 1) % 3],
+                                       LockMode.EXCLUSIVE)],
+                            outcome, start)
+            for i, txn in enumerate(txns)
+        ])
+        assert sorted(outcome.values()) == ["aborted", "committed",
+                                            "committed"]
+        assert outcome[max(t.xid for t in txns)] == "aborted"
+        assert db.locks.grant_table_empty()
+        assert db.statistics()["locks"]["victims"] == 1
+
+    def test_upgrade_deadlock(self, db):
+        """Two sharers both upgrading is a cycle; one survives upgraded."""
+        a, b = db.begin(), db.begin()
+        db.locks.acquire(a.xid, "R", LockMode.SHARED)
+        db.locks.acquire(b.xid, "R", LockMode.SHARED)
+        outcome = {}
+        start = threading.Barrier(2)
+        self._race([
+            self._contender(db, a, [("R", LockMode.EXCLUSIVE)],
+                            outcome, start),
+            self._contender(db, b, [("R", LockMode.EXCLUSIVE)],
+                            outcome, start),
+        ])
+        assert sorted(outcome.values()) == ["aborted", "committed"]
+        assert outcome[max(a.xid, b.xid)] == "aborted"
+        assert db.locks.grant_table_empty()
+        assert db.statistics()["locks"]["deadlocks_detected"] == 1
+
+    def test_large_object_writer_deadlock_end_to_end(self, db):
+        """The real write path deadlocks and recovers: two sessions open
+        the same two objects write-mode in opposite orders."""
+        with db.begin() as txn:
+            lo_x = db.lo.create(txn, "fchunk")
+            lo_y = db.lo.create(txn, "fchunk")
+        outcome = {}
+        start = threading.Barrier(2)
+
+        def writer(name, first, second):
+            def run():
+                session = db.session()
+                session.begin()
+                try:
+                    with session.lo_open(first, "rw") as obj:
+                        obj.write(name.encode())
+                    start.wait(10)
+                    with session.lo_open(second, "rw") as obj:
+                        obj.write(name.encode())
+                    session.commit()
+                    outcome[name] = "committed"
+                except DeadlockError:
+                    session.rollback()
+                    outcome[name] = "aborted"
+            return run
+
+        self._race([writer("a", lo_x, lo_y), writer("b", lo_y, lo_x)])
+        assert sorted(outcome.values()) == ["aborted", "committed"]
+        assert db.locks.grant_table_empty()
+        # The survivor's bytes are committed in both objects.
+        survivor = next(k for k, v in outcome.items() if v == "committed")
+        for designator in (lo_x, lo_y):
+            with db.lo.open(designator) as obj:
+                assert obj.read().decode() == survivor

@@ -379,7 +379,7 @@ class TestDurabilityBugfixes:
         bystander = db.begin()
         try:
             db.locks.acquire(bystander.xid, ("relation", "T"),
-                             LockMode.EXCLUSIVE)
+                             LockMode.EXCLUSIVE, no_wait=True)
         except LockError:
             pytest.fail("failed commit leaked its relation lock")
         bystander.abort()

@@ -126,7 +126,7 @@ class TestTransactions:
         from repro.txn.locks import LockMode
         with pytest.raises(LockError):
             db.locks.acquire(b.xid, ("relation", "EMP"),
-                             LockMode.EXCLUSIVE)
+                             LockMode.EXCLUSIVE, no_wait=True)
         a.commit()
         b.abort()
 

@@ -249,3 +249,129 @@ class BTreeModel(RuleBasedStateMachine):
 TestBTreeStateful = BTreeModel.TestCase
 TestBTreeStateful.settings = settings(
     max_examples=10, stateful_step_count=30, deadline=None)
+
+
+class TwoSessionModel(RuleBasedStateMachine):
+    """Two interleaved sessions against one database, vs a visibility model.
+
+    Hypothesis picks an arbitrary interleaving of begin / insert /
+    LO-write / commit / abort across both sessions.  The model says what
+    each side must see: committed rows are visible to everyone at the
+    next statement, a session's own pending writes are visible only to
+    it, and an abort erases pending work without a trace.  The schedule
+    is single-threaded, so the rules stick to compatible locks (SHARED
+    relation inserts, EXCLUSIVE on each session's *own* large object) —
+    blocking conflicts belong to the threaded tests.
+    """
+
+    SESSIONS = st.sampled_from([0, 1])
+
+    @initialize()
+    def setup(self):
+        self.db = Database(charge_cpu=False)
+        self.db.create_class("events", [("session", "int4"), ("n", "int4")])
+        self.sessions = [self.db.session(), self.db.session()]
+        with self.db.begin() as txn:
+            self.designators = [self.db.lo.create(txn, "fchunk")
+                                for _ in range(2)]
+        self.committed_rows: list[tuple[int, int]] = []
+        self.pending_rows = [[], []]
+        self.lo_committed = [bytearray(), bytearray()]
+        self.lo_pending = [None, None]
+        self.handles = [None, None]
+        self.counter = 0
+
+    def teardown(self):
+        for session in getattr(self, "sessions", []):
+            session.close()
+        if hasattr(self, "db"):
+            self.db.close()
+
+    def _in_txn(self, s) -> bool:
+        return self.sessions[s].in_transaction
+
+    @rule(s=SESSIONS)
+    def begin(self, s):
+        if self._in_txn(s):
+            return
+        self.sessions[s].begin()
+        self.pending_rows[s] = []
+        self.lo_pending[s] = bytearray(self.lo_committed[s])
+        self.handles[s] = self.sessions[s].lo_open(
+            self.designators[s], "rw")
+
+    @rule(s=SESSIONS)
+    def insert_row(self, s):
+        if not self._in_txn(s):
+            return
+        row = (s, self.counter)
+        self.counter += 1
+        self.sessions[s].insert("events", row)
+        self.pending_rows[s].append(row)
+
+    @rule(s=SESSIONS, offset=st.integers(0, 5000),
+          data=st.binary(min_size=1, max_size=800))
+    def write_own_lo(self, s, offset, data):
+        if not self._in_txn(s):
+            return
+        self.handles[s].seek(offset)
+        self.handles[s].write(data)
+        pending = self.lo_pending[s]
+        if offset > len(pending):
+            pending.extend(bytes(offset - len(pending)))
+        pending[offset:offset + len(data)] = data
+
+    @rule(s=SESSIONS)
+    def commit(self, s):
+        if not self._in_txn(s):
+            return
+        self.sessions[s].commit()  # closes the open LO handle first
+        self.committed_rows.extend(self.pending_rows[s])
+        self.lo_committed[s] = self.lo_pending[s]
+        self.pending_rows[s] = []
+        self.lo_pending[s] = None
+        self.handles[s] = None
+
+    @rule(s=SESSIONS)
+    def abort(self, s):
+        if not self._in_txn(s):
+            return
+        self.sessions[s].rollback()
+        self.pending_rows[s] = []
+        self.lo_pending[s] = None
+        self.handles[s] = None
+
+    @invariant()
+    def each_session_sees_committed_plus_own_pending(self):
+        if not hasattr(self, "db"):
+            return
+        for s in (0, 1):
+            seen = sorted(t.values for t in self.sessions[s].scan("events"))
+            expected = sorted(self.committed_rows
+                              + (self.pending_rows[s]
+                                 if self._in_txn(s) else []))
+            assert seen == expected, f"session {s} visibility broken"
+
+    @invariant()
+    def detached_reader_sees_only_committed(self):
+        if not hasattr(self, "db"):
+            return
+        seen = sorted(t.values for t in self.db.scan("events"))
+        assert seen == sorted(self.committed_rows)
+        for s in (0, 1):
+            if not self._in_txn(s):
+                with self.db.lo.open(self.designators[s]) as obj:
+                    assert obj.read() == bytes(self.lo_committed[s])
+
+    @invariant()
+    def no_locks_leak_between_transactions(self):
+        if not hasattr(self, "db"):
+            return
+        if not any(self._in_txn(s) for s in (0, 1)):
+            assert self.db.locks.grant_table_empty()
+            assert self.db.locks.waiting() == []
+
+
+TestTwoSessionStateful = TwoSessionModel.TestCase
+TestTwoSessionStateful.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None)

@@ -1,0 +1,194 @@
+"""Real-thread stress tests for the concurrent engine.
+
+Where ``test_concurrency.py`` interleaves transactions cooperatively,
+these tests run genuinely parallel sessions against one shared
+:class:`~repro.db.Database`, hammering the two write paths the lock
+manager serializes:
+
+* counter increments — read-modify-write races that lose updates the
+  instant an EXCLUSIVE lock is skipped or released early;
+* appends to one shared large object — interleaved chunk writes that
+  corrupt the byte stream unless writers serialize per object.
+
+Workers retry on :class:`~repro.errors.DeadlockError` (the victim aborts
+and goes again), so every planned increment/append eventually lands —
+the final state is exact, not probabilistic.
+
+The full-size run (8 threads × 100 transactions) carries the ``stress``
+marker: ``pytest -m stress``.  The unmarked smoke variant keeps the same
+machinery in every tier-1 run.
+"""
+
+import threading
+
+import pytest
+
+from repro.db import Database
+from repro.errors import DeadlockError, TransactionError
+from repro.txn.locks import LockMode
+
+#: Fixed-width append record: thread id, then per-thread sequence number.
+RECORD = "T{:02d}S{:04d};"
+RECORD_LEN = len(RECORD.format(0, 0))
+
+
+def _run_workers(workers, timeout):
+    threads = [threading.Thread(target=fn, daemon=True) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    assert not any(t.is_alive() for t in threads), "worker hung"
+
+
+def _increment_counter(db, session, tid_box):
+    """One read-modify-write transaction under an EXCLUSIVE counter lock."""
+    session.begin()
+    try:
+        # The lock serializes the read with the write; a SHARED relation
+        # lock alone would let two sessions read the same version and
+        # lose one increment.
+        db.locks.acquire(session.txn.xid, ("counter", 0),
+                         LockMode.EXCLUSIVE)
+        row = db.fetch("counters", tid_box[0], txn=session.txn)
+        if row is None:  # another session just replaced it
+            row = next(iter(session.scan("counters")))
+        tid_box[0] = session.replace("counters", row.tid,
+                                     (row.values[0] + 1,))
+        session.commit()
+        return True
+    except (DeadlockError, TransactionError):
+        if session.in_transaction:
+            session.rollback()
+        return False
+
+
+def _append_record(db, session, designator, record):
+    """Append one tagged record to the shared large object."""
+    session.begin()
+    try:
+        with session.lo_open(designator, "rw") as obj:
+            obj.seek(0, 2)  # the EXCLUSIVE LO lock makes EOF stable
+            obj.write(record)
+        session.commit()
+        return True
+    except (DeadlockError, TransactionError):
+        if session.in_transaction:
+            session.rollback()
+        return False
+
+
+def _mixed_workload(db, designator, tid_box, n_threads, txns_per_thread,
+                    timeout=120.0):
+    """Run the counter/append workload; verify exact final state."""
+    failures = []
+
+    def worker(thread_no):
+        def run():
+            try:
+                session = db.session()
+                for seq in range(txns_per_thread):
+                    if seq % 2 == 0:
+                        while not _increment_counter(db, session, tid_box):
+                            pass
+                    else:
+                        record = RECORD.format(thread_no, seq).encode()
+                        while not _append_record(db, session, designator,
+                                                 record):
+                            pass
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                failures.append((thread_no, exc))
+        return run
+
+    _run_workers([worker(i) for i in range(n_threads)], timeout)
+    assert not failures, f"workers crashed: {failures}"
+
+    increments_each = (txns_per_thread + 1) // 2
+    appends_each = txns_per_thread // 2
+
+    # No lost updates: the counter saw every increment.
+    final = [t.values for t in db.scan("counters")]
+    assert final == [(n_threads * increments_each,)]
+
+    # Byte-exact appends: every record present exactly once, per-thread
+    # order preserved, nothing interleaved mid-record.
+    with db.lo.open(designator) as obj:
+        data = obj.read()
+    assert len(data) == n_threads * appends_each * RECORD_LEN
+    per_thread = {i: [] for i in range(n_threads)}
+    for at in range(0, len(data), RECORD_LEN):
+        record = data[at:at + RECORD_LEN].decode()
+        assert record[0] == "T" and record[-1] == ";", record
+        per_thread[int(record[1:3])].append(int(record[4:8]))
+    for thread_no, seqs in per_thread.items():
+        assert seqs == sorted(seqs), f"thread {thread_no} out of order"
+        assert seqs == [s for s in range(txns_per_thread) if s % 2 == 1]
+
+    # The lock statistics add up and nothing is left granted or parked.
+    stats = db.statistics()
+    locks = stats["locks"]
+    assert locks["victims"] == locks["deadlocks_detected"]
+    assert locks["timeouts"] == 0
+    assert locks["wait_time"] >= 0.0
+    assert locks["deadlocks_detected"] >= 0
+    assert stats["transactions"]["active"] == 0
+    assert db.locks.grant_table_empty()
+    assert db.locks.waiting() == []
+
+
+@pytest.fixture
+def arena():
+    db = Database(charge_cpu=False)
+    db.create_class("counters", [("value", "int4")])
+    with db.begin() as txn:
+        tid = db.insert(txn, "counters", (0,))
+        designator = db.lo.create(txn, "fchunk")
+    yield db, designator, [tid]
+    db.close()
+
+
+def test_threaded_mixed_workload_smoke(arena):
+    """Tier-1 sized: 4 threads × 10 transactions."""
+    db, designator, tid_box = arena
+    _mixed_workload(db, designator, tid_box, n_threads=4,
+                    txns_per_thread=10)
+
+
+@pytest.mark.stress
+def test_threaded_mixed_workload_stress(arena):
+    """The acceptance-criteria run: 8 threads × 100 transactions."""
+    db, designator, tid_box = arena
+    _mixed_workload(db, designator, tid_box, n_threads=8,
+                    txns_per_thread=100, timeout=600.0)
+
+
+@pytest.mark.stress
+def test_threaded_writers_distinct_objects_stress(arena):
+    """Writers on distinct objects never wait on each other."""
+    db, _, _ = arena
+    with db.begin() as txn:
+        designators = [db.lo.create(txn, "fchunk") for _ in range(8)]
+    failures = []
+
+    def worker(thread_no):
+        def run():
+            try:
+                session = db.session()
+                for seq in range(50):
+                    record = RECORD.format(thread_no, seq).encode()
+                    assert _append_record(db, session, designators[thread_no],
+                                          record)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                failures.append((thread_no, exc))
+        return run
+
+    baseline = db.locks.stats.deadlocks_detected
+    _run_workers([worker(i) for i in range(8)], timeout=300.0)
+    assert not failures, f"workers crashed: {failures}"
+    assert db.locks.stats.deadlocks_detected == baseline
+    for thread_no, designator in enumerate(designators):
+        with db.lo.open(designator) as obj:
+            data = obj.read()
+        expected = b"".join(RECORD.format(thread_no, s).encode()
+                            for s in range(50))
+        assert data == expected

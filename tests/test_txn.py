@@ -105,13 +105,13 @@ class TestLockManager:
         assert locks.holds(1, "r") and locks.holds(2, "r")
 
     def test_exclusive_conflicts_with_shared(self):
-        locks = LockManager()
+        locks = LockManager(no_wait=True)
         locks.acquire(1, "r", LockMode.SHARED)
         with pytest.raises(LockError):
             locks.acquire(2, "r", LockMode.EXCLUSIVE)
 
     def test_shared_conflicts_with_exclusive(self):
-        locks = LockManager()
+        locks = LockManager(no_wait=True)
         locks.acquire(1, "r", LockMode.EXCLUSIVE)
         with pytest.raises(LockError):
             locks.acquire(2, "r", LockMode.SHARED)
@@ -128,7 +128,7 @@ class TestLockManager:
         assert locks.holds(1, "r", LockMode.EXCLUSIVE)
 
     def test_upgrade_blocked_by_other_sharer(self):
-        locks = LockManager()
+        locks = LockManager(no_wait=True)
         locks.acquire(1, "r", LockMode.SHARED)
         locks.acquire(2, "r", LockMode.SHARED)
         with pytest.raises(LockError):
