@@ -129,12 +129,13 @@ class IntegrityChecker:
             self._report(f"index {index_name!r}: {exc}")
             return
         relation = self.db.get_class(entry.relation)
-        for key, (blockno, slot) in index.range_scan():
-            try:
-                relation.fetch_any_version(TID(blockno, slot))
-            except ReproError:
-                self._report(f"index {index_name!r} entry {key}: dangling "
-                             f"TID ({blockno},{slot})")
+        with self.db.latch:  # raw page reads need the engine latch
+            for key, (blockno, slot) in index.range_scan():
+                try:
+                    relation.fetch_any_version(TID(blockno, slot))
+                except ReproError:
+                    self._report(f"index {index_name!r} entry {key}: "
+                                 f"dangling TID ({blockno},{slot})")
 
     def _check_large_objects(self) -> None:
         from repro.db import PG_LARGEOBJECT

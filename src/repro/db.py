@@ -79,7 +79,10 @@ class Database:
         #: Blocking 2PL with deadlock detection by default; ``no_wait=True``
         #: restores the paper's immediate-rejection policy, and
         #: ``lock_timeout`` bounds every blocking wait (a safety net — the
-        #: deadlock detector does not rely on it).
+        #: deadlock detector does not rely on it).  A single thread running
+        #: two conflicting transactions does not hang: a wait that depends
+        #: on a lock the caller's own thread holds raises ``LockError``
+        #: immediately, like the old no-wait policy did.
         self.locks = LockManager(no_wait=no_wait, timeout=lock_timeout)
         #: Engine latch: serializes structural mutation (page content,
         #: relation/index caches) across sessions.  Heavyweight locks are
@@ -147,6 +150,19 @@ class Database:
     def storage_manager(self, name: str | None = None) -> StorageManager:
         """The live storage manager instance registered under *name*."""
         return self.switch.get(name or self.default_smgr_name)
+
+    @property
+    def latch(self) -> threading.RLock:
+        """The engine latch serializing page-content access.
+
+        Tuple-level visibility is MVCC's job, but slot directories and
+        B-tree nodes are only consistent *between* latched sections — so
+        any subsystem reading pages directly (``index.search`` /
+        ``range_scan`` plus ``relation.fetch``) must hold this latch, the
+        same one ``insert``/``replace``/``scan`` mutate under.  Re-entrant;
+        never acquire a heavyweight lock while holding it.
+        """
+        return self._latch
 
     @property
     def lo(self) -> "LargeObjectManager":

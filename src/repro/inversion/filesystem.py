@@ -120,10 +120,11 @@ class InversionFileSystem:
         entry = self.db.catalog.indexes[index_name]
         relation = self.db.get_class(entry.relation)
         rows = []
-        for blockno, slot in index.search((key,)):
-            tup = relation.fetch(TID(blockno, slot), snapshot)
-            if tup is not None:
-                rows.append(tup)
+        with self.db.latch:  # raw page reads need the engine latch
+            for blockno, slot in index.search((key,)):
+                tup = relation.fetch(TID(blockno, slot), snapshot)
+                if tup is not None:
+                    rows.append(tup)
         return rows
 
     def _children(self, parent_id: int,

@@ -119,10 +119,15 @@ class FChunkObject(LargeObject):
     def _size_row(self, snapshot: Snapshot) -> HeapTuple:
         index = self.db.get_index("pg_largeobject_loid")
         relation = self.db.get_class(PG_LARGEOBJECT)
-        for blockno, slot in index.search((self.oid,)):
-            tup = relation.fetch(TID(blockno, slot), snapshot)
-            if tup is not None:
-                return tup
+        # Readers take no heavyweight lock, but the raw page reads (index
+        # descent + tuple fetch) need the engine latch: pg_largeobject and
+        # its index are shared by every object, so a writer of some other
+        # object may be splitting a node or rewriting a slot directory.
+        with self.db.latch:
+            for blockno, slot in index.search((self.oid,)):
+                tup = relation.fetch(TID(blockno, slot), snapshot)
+                if tup is not None:
+                    return tup
         raise LargeObjectError(
             f"large object {self.oid} has no size record "
             f"(not visible to this snapshot?)")
@@ -141,10 +146,11 @@ class FChunkObject(LargeObject):
                      snapshot: Snapshot) -> HeapTuple | None:
         """The visible version of chunk *seqno*, or ``None``."""
         candidates = []
-        for blockno, slot in self.index.search((seqno,)):
-            tup = self.relation.fetch(TID(blockno, slot), snapshot)
-            if tup is not None:
-                candidates.append(tup)
+        with self.db.latch:
+            for blockno, slot in self.index.search((seqno,)):
+                tup = self.relation.fetch(TID(blockno, slot), snapshot)
+                if tup is not None:
+                    candidates.append(tup)
         if not candidates:
             return None
         if len(candidates) > 1:
@@ -192,24 +198,26 @@ class FChunkObject(LargeObject):
         """
         wanted = set(seqnos)
         candidates: dict[int, list[TID]] = {}
-        for (seqno,), (blockno, slot) in self.index.range_scan(
-                (min(wanted),), (max(wanted),)):
-            if seqno in wanted:
-                candidates.setdefault(seqno, []).append(TID(blockno, slot))
-        self.relation.prefetch_tids(
-            [tid for tids in candidates.values() for tid in tids])
         out: dict[int, HeapTuple] = {}
-        for seqno, tids in candidates.items():
-            visible = [tup for tid in tids
-                       if (tup := self.relation.fetch(tid, snapshot))
-                       is not None]
-            if not visible:
-                continue
-            if len(visible) > 1:
-                raise LargeObjectError(
-                    f"large object {self.oid}: {len(visible)} visible "
-                    f"versions of chunk {seqno} (snapshot anomaly)")
-            out[seqno] = visible[0]
+        with self.db.latch:  # see _size_row: page reads need the latch
+            for (seqno,), (blockno, slot) in self.index.range_scan(
+                    (min(wanted),), (max(wanted),)):
+                if seqno in wanted:
+                    candidates.setdefault(seqno, []).append(
+                        TID(blockno, slot))
+            self.relation.prefetch_tids(
+                [tid for tids in candidates.values() for tid in tids])
+            for seqno, tids in candidates.items():
+                visible = [tup for tid in tids
+                           if (tup := self.relation.fetch(tid, snapshot))
+                           is not None]
+                if not visible:
+                    continue
+                if len(visible) > 1:
+                    raise LargeObjectError(
+                        f"large object {self.oid}: {len(visible)} visible "
+                        f"versions of chunk {seqno} (snapshot anomaly)")
+                out[seqno] = visible[0]
         return out
 
     # -- write buffer ------------------------------------------------------------------

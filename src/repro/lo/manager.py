@@ -263,10 +263,15 @@ class LargeObjectManager:
         snapshot = self.db.snapshot(txn)
         index = self.db.get_index("pg_largeobject_loid")
         relation = self.db.get_class(PG_LARGEOBJECT)
-        for blockno, slot in index.search((oid,)):
-            row = relation.fetch(TID(blockno, slot), snapshot)
-            if row is not None:
-                self.db.delete(txn, PG_LARGEOBJECT, row.tid)
+        # Collect under the engine latch (raw page reads), delete outside
+        # it: db.delete takes a heavyweight relation lock, which must
+        # never be acquired while the latch is held.
+        with self.db.latch:
+            rows = [row for blockno, slot in index.search((oid,))
+                    if (row := relation.fetch(TID(blockno, slot),
+                                              snapshot)) is not None]
+        for row in rows:
+            self.db.delete(txn, PG_LARGEOBJECT, row.tid)
         # Drop the relations (DDL).
         if entry.impl == "vsegment":
             self._drop_relations(oid, segment_class_name, segment_index_name)

@@ -103,10 +103,12 @@ class VSegmentObject(LargeObject):
     def _size_row(self, snapshot: Snapshot) -> HeapTuple:
         index = self.db.get_index("pg_largeobject_loid")
         relation = self.db.get_class(PG_LARGEOBJECT)
-        for blockno, slot in index.search((self.oid,)):
-            tup = relation.fetch(TID(blockno, slot), snapshot)
-            if tup is not None:
-                return tup
+        # Page reads under the engine latch — see FChunkObject._size_row.
+        with self.db.latch:
+            for blockno, slot in index.search((self.oid,)):
+                tup = relation.fetch(TID(blockno, slot), snapshot)
+                if tup is not None:
+                    return tup
         raise LargeObjectError(
             f"large object {self.oid} has no size record")
 
@@ -132,14 +134,15 @@ class VSegmentObject(LargeObject):
                               snapshot: Snapshot) -> list[HeapTuple]:
         """Visible segment records intersecting ``[start, end)``, sorted."""
         lo_key = max(0, start - SEGMENT_MAX)
-        tids = [TID(blockno, slot)
-                for _key, (blockno, slot) in self.index.range_scan(
-                    (lo_key,), (end - 1,))]
         found = []
-        for tup in self.relation.fetch_many(tids, snapshot):
-            locn, length, _clen, _ptr = tup.values
-            if locn + length > start and locn < end:
-                found.append(tup)
+        with self.db.latch:  # page reads — see FChunkObject._size_row
+            tids = [TID(blockno, slot)
+                    for _key, (blockno, slot) in self.index.range_scan(
+                        (lo_key,), (end - 1,))]
+            for tup in self.relation.fetch_many(tids, snapshot):
+                locn, length, _clen, _ptr = tup.values
+                if locn + length > start and locn < end:
+                    found.append(tup)
         found.sort(key=lambda t: t.values[0])
         return found
 

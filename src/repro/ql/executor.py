@@ -302,11 +302,18 @@ class Executor:
                 entry = self.db.catalog.indexes[index_name]
                 position = relation.schema.position(entry.attribute)
                 from repro.access.tuples import TID
-                for blockno, slot in index.search((key,)):
-                    tup = relation.fetch(TID(blockno, slot), snapshot)
-                    # Re-check the key: stale entries must never surface.
-                    if tup is not None and tup.values[position] == key:
-                        yield tup
+                # Materialize under the engine latch (raw page reads);
+                # qualifications are evaluated outside it, so user
+                # functions can run DML without lock-before-latch issues.
+                with self.db.latch:
+                    matches = [
+                        tup for blockno, slot in index.search((key,))
+                        if (tup := relation.fetch(TID(blockno, slot),
+                                                  snapshot)) is not None
+                        # Re-check the key: stale entries must never
+                        # surface.
+                        and tup.values[position] == key]
+                yield from matches
                 return
             rng = self._find_index_range(class_ref.name, qualification)
             if rng is not None:
@@ -314,11 +321,13 @@ class Executor:
                 index = self.db.get_index(index_name)
                 position = relation.schema.position(attribute)
                 from repro.access.tuples import TID
-                tids = [TID(blockno, slot)
-                        for _key, (blockno, slot) in index.range_scan(
-                            None if lo is None else (lo,),
-                            None if hi is None else (hi,))]
-                for tup in relation.fetch_many(tids, snapshot):
+                with self.db.latch:
+                    tids = [TID(blockno, slot)
+                            for _key, (blockno, slot) in index.range_scan(
+                                None if lo is None else (lo,),
+                                None if hi is None else (hi,))]
+                    fetched = list(relation.fetch_many(tids, snapshot))
+                for tup in fetched:
                     # Re-check bounds: stale entries must never surface.
                     value = tup.values[position]
                     if value is None:
@@ -329,7 +338,9 @@ class Executor:
                         continue
                     yield tup
                 return
-        yield from relation.scan(snapshot)
+        with self.db.latch:
+            tuples = list(relation.scan(snapshot))
+        yield from tuples
 
     def _find_index_probe(self, class_name: str,
                           qualification) -> tuple[str, int] | None:

@@ -5,12 +5,23 @@ The lock manager serves two deployment shapes:
 * **Blocking (the default).**  A request that cannot be granted joins a
   FIFO wait queue and the calling thread sleeps until a release makes it
   grantable.  Before sleeping, the waiter runs **wait-for-graph deadlock
-  detection**: if the new wait edge closes a cycle, the youngest
-  transaction in the cycle is chosen as victim and its ``acquire`` raises
+  detection**: as long as the new wait edge closes a cycle, the youngest
+  transaction in that cycle is chosen as victim and re-detection runs —
+  one new edge can close several cycles at once, and each needs its own
+  victim.  A victim's ``acquire`` raises
   :class:`~repro.errors.DeadlockError` (the victim's session must then
-  abort, which releases its locks and unblocks the survivors).  Detection
-  is synchronous and graph-based — no background thread, no timeout
-  heuristics — so a two-session cycle is resolved within one wakeup.
+  abort, which releases its locks and unblocks the survivors), and a
+  victimized waiter is never granted — it always wakes into the error.
+  Detection is synchronous and graph-based — no background thread, no
+  timeout heuristics — so a two-session cycle is resolved within one
+  wakeup.
+
+  The wait-for graph can only see transactions that are *waiting*; a
+  conflicting holder whose owning thread is the one about to park will
+  never release (that thread would be asleep), so such a request raises
+  :class:`~repro.errors.LockError` immediately instead of hanging — the
+  single-threaded two-transaction conflict the no-wait policy used to
+  reject stays an error, not a deadlock the detector cannot reach.
 
 * **No-wait (``no_wait=True``), the paper-faithful policy.**  A lock that
   cannot be granted raises :class:`~repro.errors.LockError` immediately.
@@ -131,6 +142,10 @@ class LockManager:
         self._grants: dict[Hashable, dict[int, LockMode]] = defaultdict(dict)
         #: resource -> FIFO of blocked requests
         self._waiters: dict[Hashable, list[_Waiter]] = {}
+        #: xid -> ident of the thread that last acquired for it; lets a
+        #: blocking request detect that its wait chain dead-ends in a
+        #: transaction its own (about-to-park) thread controls.
+        self._xid_threads: dict[int, int] = {}
 
     # -- acquisition ---------------------------------------------------------------
 
@@ -150,6 +165,7 @@ class LockManager:
         if timeout is None:
             timeout = self.timeout
         with self._cond:
+            self._xid_threads[xid] = threading.get_ident()
             if self._try_grant(xid, resource, mode):
                 self.stats.granted_immediately += 1
                 return
@@ -166,10 +182,21 @@ class LockManager:
         holders = self._grants.get(resource, {})
         waiter = _Waiter(xid, resource, mode, upgrade=xid in holders)
         self._waiters.setdefault(resource, []).append(waiter)
+        blocker = self._same_thread_blocker(xid)
+        if blocker is not None:
+            self._remove_waiter(waiter)
+            raise LockError(
+                f"txn {xid} cannot wait for {mode.value} lock on "
+                f"{resource!r}: the wait depends on txn {blocker}, which "
+                f"this same thread controls and could never release while "
+                f"parked (self-deadlock)")
         self.stats.waits += 1
         started = time.monotonic()
-        cycle = self._find_cycle(xid)
-        if cycle is not None:
+        # One new wait edge can close several cycles; victimize one
+        # transaction per cycle until none remains through us.  Each pass
+        # marks a previously unmarked waiter (victims drop out of the
+        # graph), so the loop terminates.
+        while (cycle := self._find_cycle(xid)) is not None:
             self._victimize(cycle)
         try:
             while not waiter.granted and not waiter.victim:
@@ -213,8 +240,11 @@ class LockManager:
             return True
         if any(not _compatible(m, mode) for m in others.values()):
             return False
-        # Fairness: a fresh request never overtakes a conflicting waiter.
+        # Fairness: a fresh request never overtakes a conflicting waiter
+        # (victims are leaving, not waiting — they don't count).
         for earlier in self._waiters.get(resource, ()):
+            if earlier.victim:
+                continue
             if not (earlier.mode is LockMode.SHARED
                     and mode is LockMode.SHARED):
                 return False
@@ -246,6 +276,8 @@ class LockManager:
         for earlier in self._waiters.get(resource, ()):
             if earlier is waiter:
                 return True
+            if earlier.victim:  # leaving, not waiting
+                continue
             if not (earlier.mode is LockMode.SHARED
                     and waiter.mode is LockMode.SHARED):
                 return False
@@ -253,7 +285,12 @@ class LockManager:
 
     def _grant_waiters(self, resource: Hashable) -> bool:
         """Grant every now-eligible waiter on *resource* (FIFO, upgrades
-        by holder-compatibility).  Returns whether anything was granted."""
+        by holder-compatibility).  Returns whether anything was granted.
+
+        A victimized waiter is never granted, even if the conflict has
+        cleared by the time it would be eligible: its ``acquire`` must
+        raise so ``victims`` stays in lockstep with ``deadlocks_detected``
+        and the caller's abort actually happens."""
         queue = self._waiters.get(resource)
         if not queue:
             return False
@@ -262,6 +299,8 @@ class LockManager:
         while progress:
             progress = False
             for waiter in list(queue):
+                if waiter.victim:
+                    continue
                 if not self._grantable_queued(resource, waiter):
                     continue
                 holders = self._grants[resource]
@@ -297,18 +336,26 @@ class LockManager:
         Edges run to every conflicting *holder* and — for fresh requests,
         which queue FIFO — to every conflicting *earlier waiter* (that
         waiter will become a holder first).  Upgrades wait only on the
-        other holders; the queue cannot delay them.
+        other holders; the queue cannot delay them.  Victimized waiters
+        are no longer waiting (they are about to wake and abort), so they
+        contribute no edges in either direction — every cycle through a
+        victim is already broken, and leaving its edges in would make
+        re-detection find the same cycle forever.
         """
         edges: dict[int, set[int]] = defaultdict(set)
         for resource, queue in self._waiters.items():
             holders = self._grants.get(resource, {})
             for position, waiter in enumerate(queue):
+                if waiter.victim:
+                    continue
                 for xid, m in holders.items():
                     if xid != waiter.xid and not _compatible(m, waiter.mode):
                         edges[waiter.xid].add(xid)
                 if waiter.upgrade:
                     continue
                 for earlier in queue[:position]:
+                    if earlier.victim:
+                        continue
                     if earlier.xid != waiter.xid and not (
                             earlier.mode is LockMode.SHARED
                             and waiter.mode is LockMode.SHARED):
@@ -335,6 +382,30 @@ class LockManager:
                     stack.append((succ, path + [succ]))
         return None
 
+    def _same_thread_blocker(self, start: int) -> int | None:
+        """An xid blocking *start* whose owning thread is the caller's.
+
+        Follows the wait-for graph from *start* across waiters to the
+        holders at the chain's ends.  Any transaction reached that this
+        very thread controls can never release — the thread is about to
+        park — yet it is not *waiting*, so no cycle exists for the
+        deadlock detector to break.  The caller must refuse to wait.
+        """
+        me = threading.get_ident()
+        edges = self._waits_for()
+        stack = [start]
+        seen = {start}
+        while stack:
+            node = stack.pop()
+            for succ in edges.get(node, ()):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                if self._xid_threads.get(succ) == me:
+                    return succ
+                stack.append(succ)
+        return None
+
     def _victimize(self, cycle: list[int]) -> None:
         """Abort-by-exception the youngest (highest-xid) cycle member.
 
@@ -358,6 +429,7 @@ class LockManager:
         any waiters that become eligible.  Each blocked waiter is woken
         (granted) at most once.  Returns the number of locks released."""
         with self._cond:
+            self._xid_threads.pop(xid, None)
             released = 0
             touched = []
             for resource, holders in list(self._grants.items()):

@@ -108,10 +108,18 @@ class TransactionManager:
     # -- lifecycle ----------------------------------------------------------------
 
     def begin(self) -> Transaction:
-        """Start a new transaction."""
-        xid = self.clog.allocate_xid()
-        txn = Transaction(xid, self)
+        """Start a new transaction.
+
+        The xid is allocated and registered in the active table under one
+        critical section: ``snapshot()`` reads the ceiling first and the
+        active set under the same mutex afterwards, so a snapshot can
+        never observe a ceiling above the new xid without also seeing it
+        active — in either order of the race the new transaction stays
+        invisible until it commits *after* the snapshot exists.
+        """
         with self._mutex:
+            xid = self.clog.allocate_xid()
+            txn = Transaction(xid, self)
             self._active[xid] = txn
         return txn
 

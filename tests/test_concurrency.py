@@ -10,6 +10,7 @@ detector must pick exactly one victim per cycle.
 
 import random
 import threading
+import time
 
 import pytest
 
@@ -261,6 +262,46 @@ class TestDeadlockMatrix:
         assert db.locks.grant_table_empty()
         assert db.statistics()["locks"]["deadlocks_detected"] == 1
 
+    def test_one_edge_closes_two_cycles_every_cycle_victimized(self, db):
+        """One wait edge can close several cycles; each needs a victim.
+
+        A 3-way star: two sharers of R each wait on the hub, then the
+        hub requests EXCLUSIVE on R, closing *two* cycles at once.  The
+        hub is the oldest transaction, so the per-cycle youngest-victim
+        rule never picks the common node — without re-detection after
+        the first victim, the second cycle would hang forever.
+        """
+        hub = db.begin()  # lowest xid: never chosen as victim
+        spokes = [db.begin(), db.begin()]
+        db.locks.acquire(hub.xid, "X0", LockMode.EXCLUSIVE)
+        db.locks.acquire(hub.xid, "X1", LockMode.EXCLUSIVE)
+        for txn in spokes:
+            db.locks.acquire(txn.xid, "R", LockMode.SHARED)
+        outcome = {}
+        start = threading.Barrier(2)
+        threads = [threading.Thread(
+            target=self._contender(db, txn, [(f"X{i}", LockMode.EXCLUSIVE)],
+                                   outcome, start),
+            daemon=True) for i, txn in enumerate(spokes)]
+        for t in threads:
+            t.start()
+        # Both spokes must be parked before the hub's request can close
+        # both cycles with a single edge.
+        deadline = time.monotonic() + 10
+        while len(db.locks.waiting()) < 2:
+            assert time.monotonic() < deadline, "spokes never parked"
+            time.sleep(0.001)
+        db.locks.acquire(hub.xid, "R", LockMode.EXCLUSIVE)
+        hub.commit()
+        for t in threads:
+            t.join(15)
+        assert not any(t.is_alive() for t in threads), "residual cycle hung"
+        assert sorted(outcome.values()) == ["aborted", "aborted"]
+        assert db.locks.grant_table_empty()
+        stats = db.statistics()["locks"]
+        assert stats["deadlocks_detected"] == 2
+        assert stats["victims"] == 2
+
     def test_large_object_writer_deadlock_end_to_end(self, db):
         """The real write path deadlocks and recovers: two sessions open
         the same two objects write-mode in opposite orders."""
@@ -295,3 +336,51 @@ class TestDeadlockMatrix:
         for designator in (lo_x, lo_y):
             with db.lo.open(designator) as obj:
                 assert obj.read().decode() == survivor
+
+
+class TestSameThreadSelfWait:
+    """One thread running two conflicting transactions must not hang.
+
+    The blocker *holds* but never waits, so no wait-for cycle exists for
+    the detector; the doomed request has to be refused up front with
+    ``LockError`` — the same outcome the old no-wait policy gave this
+    pattern.
+    """
+
+    def test_direct_conflict_raises_immediately(self, db):
+        a, b = db.begin(), db.begin()
+        db.locks.acquire(a.xid, "Q", LockMode.EXCLUSIVE)
+        with pytest.raises(LockError):
+            db.locks.acquire(b.xid, "Q", LockMode.EXCLUSIVE)
+        a.commit()
+        db.locks.acquire(b.xid, "Q", LockMode.EXCLUSIVE)  # free now
+        b.commit()
+        assert db.locks.grant_table_empty()
+
+    def test_transitive_conflict_through_a_parked_waiter(self, db):
+        """The self-wait may be indirect: b waits on a parked worker that
+        in turn waits on a lock this thread holds."""
+        a, b = db.begin(), db.begin()
+        db.locks.acquire(a.xid, "Q", LockMode.EXCLUSIVE)
+        finished = []
+
+        def worker():
+            c = db.begin()
+            db.locks.acquire(c.xid, "R", LockMode.EXCLUSIVE)
+            db.locks.acquire(c.xid, "Q", LockMode.EXCLUSIVE)  # parks
+            c.commit()
+            finished.append(True)
+
+        t = threading.Thread(target=worker, daemon=True)
+        t.start()
+        deadline = time.monotonic() + 10
+        while not db.locks.waiting("Q"):
+            assert time.monotonic() < deadline, "worker never parked"
+            time.sleep(0.001)
+        with pytest.raises(LockError):
+            db.locks.acquire(b.xid, "R", LockMode.EXCLUSIVE)
+        b.abort()
+        a.commit()  # releases Q; the worker proceeds and finishes
+        t.join(10)
+        assert not t.is_alive() and finished
+        assert db.locks.grant_table_empty()
