@@ -175,6 +175,41 @@ class TestReadPathMicro:
         reader.close()
         self._record_counters(benchmark, db)
 
+    def test_fchunk_repeated_range_read_hits_cache(self, benchmark, db):
+        """Re-reading the same byte range must be served from the
+        descriptor's decompressed-chunk cache, not re-fetched."""
+        designator = self._loaded(db)
+        reader = db.lo.open(designator)
+
+        def work():
+            reader.seek(0)
+            return reader.read(16384)  # 3 chunks, all cache-resident
+
+        assert len(benchmark(work)) == 16384
+        reader.close()
+        caches = db.statistics()["largeobjects"]
+        assert caches["read_cache_hits"] > caches["read_cache_misses"]
+        benchmark.extra_info.update(caches)
+
+    def test_vsegment_repeated_range_read_hits_cache(self, benchmark, db):
+        txn = db.begin()
+        designator = db.lo.create(txn, "vsegment")
+        with db.lo.open(designator, txn, "rw") as obj:
+            for i in range(self.FRAMES // 4):
+                obj.write(frame_bytes(i, 0.0))
+        txn.commit()
+        reader = db.lo.open(designator)
+
+        def work():
+            reader.seek(0)
+            return reader.read(16384)
+
+        assert len(benchmark(work)) == 16384
+        reader.close()
+        caches = db.statistics()["largeobjects"]
+        assert caches["segment_cache_hits"] > caches["segment_cache_misses"]
+        benchmark.extra_info.update(caches)
+
 
 @pytest.mark.perf
 class TestConcurrencyMicro:

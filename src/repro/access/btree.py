@@ -41,7 +41,7 @@ from __future__ import annotations
 import bisect
 import struct
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import RelationError
 from repro.smgr.base import StorageManager
@@ -95,6 +95,18 @@ class BTree:
         self._child = struct.Struct("<I")
         # Soft node-size ceiling: leave room for one more max-size entry.
         self._node_limit = MAX_TUPLE_SIZE - 64
+        #: Debug tripwire (see :mod:`repro.access.scan`): when the owning
+        #: Database runs with ``debug_latch=True`` it points this at the
+        #: engine latch's ``held()``, and lookups verify the latch is
+        #: taken.  ``None`` (standalone use) disables the check.
+        self.latch_probe: Callable[[], bool] | None = None
+
+    def _assert_latched(self, operation: str) -> None:
+        if self.latch_probe is not None and not self.latch_probe():
+            raise AssertionError(
+                f"index {self.name!r}.{operation} called without the "
+                f"engine latch — go through the scan layer "
+                f"(repro.access.scan) or take db.latch first")
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -323,8 +335,9 @@ class BTree:
 
     def search(self, key: Key) -> list[Value]:
         """All values stored under exactly *key* (duplicates preserved)."""
+        self._assert_latched("search")
         key = self._check_key(key)
-        return [value for _k, value in self.range_scan(key, key)]
+        return [value for _k, value in self._range_scan(key, key)]
 
     def range_scan(self, lo: Key | None = None,
                    hi: Key | None = None) -> Iterator[tuple[Key, Value]]:
@@ -333,6 +346,14 @@ class BTree:
         ``None`` bounds are open.  Follows leaf sibling links, so a scan
         costs one page read per leaf touched.
         """
+        # The latch check must fire at call time, not at first next():
+        # a generator body only runs lazily, by which point the caller's
+        # latch block may already have exited.
+        self._assert_latched("range_scan")
+        return self._range_scan(lo, hi)
+
+    def _range_scan(self, lo: Key | None = None,
+                    hi: Key | None = None) -> Iterator[tuple[Key, Value]]:
         if lo is not None:
             lo = self._check_key(lo)
             _blockno, node = self._find_leaf(lo)
@@ -398,13 +419,21 @@ class BTree:
         return self._read_meta()[1]
 
     def entry_count(self) -> int:
-        """Total entries (walks every leaf)."""
-        return sum(1 for _ in self.range_scan())
+        """Total entries (walks every leaf).
+
+        A diagnostic, so it bypasses the latch tripwire; callers that
+        need a consistent count under concurrency should latch anyway.
+        """
+        return sum(1 for _ in self._range_scan())
 
     def check_invariants(self) -> None:
-        """Verify ordering and structure; raises on violation (tests)."""
+        """Verify ordering and structure; raises on violation (tests).
+
+        A diagnostic like :meth:`entry_count`; the integrity sweep runs
+        it under the latch via :func:`repro.access.scan.check_index`.
+        """
         previous: Key | None = None
-        for key, _value in self.range_scan():
+        for key, _value in self._range_scan():
             if previous is not None and key < previous:
                 raise RelationError(
                     f"index {self.name!r} keys out of order: "

@@ -57,6 +57,19 @@ class HeapRelation:
         self.oid_source = oid_source
         self.fileid = fileid or f"heap_{name}"
         self.fsm = FreeSpaceMap()
+        #: Debug tripwire (see :mod:`repro.access.scan`): when the owning
+        #: Database runs with ``debug_latch=True`` it points this at the
+        #: engine latch's ``held()``, and visibility reads verify the
+        #: latch is taken.  ``None`` (standalone use, tests over a raw
+        #: stack) disables the check.
+        self.latch_probe: Callable[[], bool] | None = None
+
+    def _assert_latched(self, operation: str) -> None:
+        if self.latch_probe is not None and not self.latch_probe():
+            raise AssertionError(
+                f"{self.name!r}.{operation} called without the engine "
+                f"latch — go through the scan layer "
+                f"(repro.access.scan) or take db.latch first")
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -177,6 +190,7 @@ class HeapRelation:
 
     def fetch(self, tid: TID, snapshot: Snapshot) -> HeapTuple | None:
         """The tuple at *tid* if visible to *snapshot*, else ``None``."""
+        self._assert_latched("fetch")
         tup = self.fetch_any_version(tid)
         if snapshot.is_visible(tup.xmin, tup.xmax, self.clog):
             return tup
@@ -210,6 +224,7 @@ class HeapRelation:
 
     def fetch_many(self, tids, snapshot: Snapshot) -> list[HeapTuple]:
         """Visible tuples among *tids*, in input order, with readahead."""
+        self._assert_latched("fetch_many")
         tids = list(tids)
         self.prefetch_tids(tids)
         out = []

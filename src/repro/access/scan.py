@@ -1,0 +1,319 @@
+"""Unified access-path layer: scan descriptors owning latching,
+visibility, and prefetch.
+
+Every construct the paper layers over the storage system — f-chunk's
+chunk class (§6.3), v-segment's segment index (§6.4), Inversion's
+metadata classes (§8) — reduces to the same pattern: B-tree probe or
+range scan, heap fetch, snapshot-visibility filter.  Before this module
+existed, that pattern (plus the engine-latch discipline around raw page
+reads) was hand-rolled at eight call sites, and getting the latch wrong
+at any one of them was a silent race.  The descriptors here are the one
+place that pattern lives:
+
+* :class:`IndexProbe` — equality probe: one key, all visible versions;
+* :class:`IndexRangeScan` — leaf-chain walk over ``[lo, hi]`` with
+  batched heap prefetch;
+* :class:`SeqScan` — full-relation scan with visibility filtering.
+
+All three take the engine latch internally (see :class:`EngineLatch` and
+DESIGN.md §"Locking discipline": heavyweight locks are always acquired
+*before* the latch, never under it), apply the snapshot, and count what
+they did into the shared :class:`AccessStats`, surfaced as
+``db.statistics()["access"]``.
+
+``unique=True`` enforces the "exactly one visible version per key"
+invariant that a no-overwrite heap owes its readers: if a snapshot ever
+sees two versions of the same chunk or segment, something upstream
+violated snapshot isolation, and the scan raises the caller-supplied
+snapshot-anomaly error instead of silently letting one version shadow
+the other.
+
+The layer is backed by a debug tripwire: when a :class:`~repro.db.Database`
+is constructed with ``debug_latch=True`` (the default under pytest — see
+``tests/conftest.py``), the raw access methods
+(``HeapRelation.fetch``/``fetch_many``, ``BTree.search``/``range_scan``)
+verify the engine latch is held, so any future call site that bypasses
+this layer fails loudly in CI instead of racing in production.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.access.tuples import TID, HeapTuple
+from repro.errors import ReproError
+from repro.txn.snapshot import Snapshot
+
+if TYPE_CHECKING:
+    from repro.access.btree import BTree, Key
+    from repro.access.heap import HeapRelation
+    from repro.db import Database
+
+#: Builds the error raised when ``unique=True`` finds several visible
+#: versions of one key: ``(key, visible_count) -> Exception``.
+AnomalyFactory = Callable[["Key", int], Exception]
+
+
+class EngineLatch:
+    """The engine latch: a re-entrant lock that knows its owner.
+
+    Serializes structural mutation (page contents, relation/index caches)
+    across sessions.  Functionally a ``threading.RLock``; the addition is
+    :meth:`held`, which the debug tripwire uses to assert that raw page
+    reads happen inside a latched section.  The canonical ordering rule
+    (DESIGN.md §"Locking discipline"): heavyweight locks are ALWAYS
+    acquired before this latch, never while holding it.
+    """
+
+    __slots__ = ("_lock", "_owner", "_count")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._owner: int | None = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            # Only the owning thread can reach these fields: they are
+            # written strictly inside the lock's critical section.
+            self._owner = threading.get_ident()
+            self._count += 1
+        return acquired
+
+    def release(self) -> None:
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        self._lock.release()
+
+    def __enter__(self) -> "EngineLatch":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def held(self) -> bool:
+        """Whether the calling thread currently holds the latch."""
+        return self._owner == threading.get_ident()
+
+
+@dataclass
+class AccessStats:
+    """Counters for every access path executed through this layer."""
+
+    probes: int = 0            # IndexProbe executions
+    range_scans: int = 0       # IndexRangeScan executions
+    seq_scans: int = 0         # SeqScan executions
+    tuples_scanned: int = 0    # candidate versions fetched from the heap
+    tuples_visible: int = 0    # of those, visible to the scan's snapshot
+    prefetch_batches: int = 0  # range scans that issued heap readahead
+
+    def as_dict(self) -> dict:
+        return {
+            "probes": self.probes,
+            "range_scans": self.range_scans,
+            "seq_scans": self.seq_scans,
+            "tuples_scanned": self.tuples_scanned,
+            "tuples_visible": self.tuples_visible,
+            "prefetch_batches": self.prefetch_batches,
+        }
+
+
+def _default_anomaly(relation_name: str) -> AnomalyFactory:
+    def build(key: "Key", count: int) -> Exception:
+        return ReproError(
+            f"relation {relation_name!r}: {count} visible versions of "
+            f"key {key} (snapshot anomaly)")
+    return build
+
+
+class IndexProbe:
+    """Equality probe: all visible versions stored under one key.
+
+    ``recheck_position`` re-verifies the fetched tuple's attribute at
+    that position against the probe key — the defence against index
+    entries that went stale between a deletion and the vacuum that
+    prunes them (a freed slot may be reused by an unrelated tuple).
+
+    ``unique=True`` raises the ``anomaly`` error if more than one
+    version is visible.
+    """
+
+    def __init__(self, db: "Database", index: "BTree",
+                 relation: "HeapRelation", key: "Key", *,
+                 unique: bool = False,
+                 anomaly: AnomalyFactory | None = None,
+                 recheck_position: int | None = None):
+        self.db = db
+        self.index = index
+        self.relation = relation
+        self.key = tuple(key)
+        self.unique = unique
+        self.anomaly = anomaly or _default_anomaly(relation.name)
+        self.recheck_position = recheck_position
+
+    def tuples(self, snapshot: Snapshot) -> list[HeapTuple]:
+        """All visible versions under the key, in index order."""
+        stats = self.db.access_stats
+        out: list[HeapTuple] = []
+        with self.db.latch:
+            stats.probes += 1
+            for blockno, slot in self.index.search(self.key):
+                stats.tuples_scanned += 1
+                tup = self.relation.fetch(TID(blockno, slot), snapshot)
+                if tup is None:
+                    continue
+                if (self.recheck_position is not None
+                        and tup.values[self.recheck_position]
+                        != self.key[0]):
+                    continue
+                out.append(tup)
+            stats.tuples_visible += len(out)
+        if self.unique and len(out) > 1:
+            raise self.anomaly(self.key, len(out))
+        return out
+
+    def first(self, snapshot: Snapshot) -> HeapTuple | None:
+        """The first visible version, stopping at the first hit.
+
+        For rows with many superseded versions (e.g. a hot
+        ``pg_largeobject`` size row) this skips fetching the rest of the
+        version chain; use :meth:`tuples` when every version matters.
+        """
+        stats = self.db.access_stats
+        with self.db.latch:
+            stats.probes += 1
+            for blockno, slot in self.index.search(self.key):
+                stats.tuples_scanned += 1
+                tup = self.relation.fetch(TID(blockno, slot), snapshot)
+                if tup is None:
+                    continue
+                if (self.recheck_position is not None
+                        and tup.values[self.recheck_position]
+                        != self.key[0]):
+                    continue
+                stats.tuples_visible += 1
+                return tup
+        return None
+
+
+class IndexRangeScan:
+    """Leaf-chain scan over ``[lo, hi]`` with batched heap prefetch.
+
+    One root-to-leaf descent finds the first leaf; the scan then walks
+    right-sibling pointers, so a long read costs O(entries / leaf
+    fanout) node reads.  The heap blocks the entries resolve to are read
+    ahead in contiguous runs before the fetch loop pins them.
+
+    ``None`` bounds are open.  ``unique=True`` raises the ``anomaly``
+    error when any single key in the scan has several visible versions.
+    """
+
+    def __init__(self, db: "Database", index: "BTree",
+                 relation: "HeapRelation", lo: "Key | None",
+                 hi: "Key | None", *, unique: bool = False,
+                 anomaly: AnomalyFactory | None = None):
+        self.db = db
+        self.index = index
+        self.relation = relation
+        self.lo = None if lo is None else tuple(lo)
+        self.hi = None if hi is None else tuple(hi)
+        self.unique = unique
+        self.anomaly = anomaly or _default_anomaly(relation.name)
+
+    def entries(self) -> "list[tuple[Key, TID]]":
+        """Raw index entries (no heap fetch), materialized under the latch."""
+        with self.db.latch:
+            self.db.access_stats.range_scans += 1
+            return [(key, TID(blockno, slot)) for key, (blockno, slot)
+                    in self.index.range_scan(self.lo, self.hi)]
+
+    def visible(self, snapshot: Snapshot,
+                wanted: "set[Key] | None" = None
+                ) -> "list[tuple[Key, HeapTuple]]":
+        """Visible ``(key, tuple)`` pairs in index-key order.
+
+        *wanted* restricts the scan to those keys (the f-chunk read path
+        scans ``[min, max]`` of a chunk window but only needs the chunks
+        the caller is missing).
+        """
+        stats = self.db.access_stats
+        counts: dict["Key", int] = {}
+        out: list[tuple["Key", HeapTuple]] = []
+        with self.db.latch:
+            stats.range_scans += 1
+            pairs = [(key, TID(blockno, slot)) for key, (blockno, slot)
+                     in self.index.range_scan(self.lo, self.hi)
+                     if wanted is None or key in wanted]
+            if self.relation.prefetch_tids(tid for _key, tid in pairs):
+                stats.prefetch_batches += 1
+            for key, tid in pairs:
+                stats.tuples_scanned += 1
+                tup = self.relation.fetch(tid, snapshot)
+                if tup is None:
+                    continue
+                counts[key] = counts.get(key, 0) + 1
+                out.append((key, tup))
+            stats.tuples_visible += len(out)
+        if self.unique:
+            for key, count in counts.items():
+                if count > 1:
+                    raise self.anomaly(key, count)
+        return out
+
+    def tuples(self, snapshot: Snapshot) -> list[HeapTuple]:
+        """Visible tuples in index-key order."""
+        return [tup for _key, tup in self.visible(snapshot)]
+
+
+class SeqScan:
+    """Full-relation scan: every version examined, visible ones returned.
+
+    Materializes under the engine latch, so the result is a consistent
+    cut even while other sessions write.
+    """
+
+    def __init__(self, db: "Database", relation: "HeapRelation"):
+        self.db = db
+        self.relation = relation
+
+    def tuples(self, snapshot: Snapshot) -> list[HeapTuple]:
+        stats = self.db.access_stats
+        out: list[HeapTuple] = []
+        with self.db.latch:
+            stats.seq_scans += 1
+            for tup in self.relation.scan_versions():
+                stats.tuples_scanned += 1
+                if snapshot.is_visible(tup.xmin, tup.xmax,
+                                       self.relation.clog):
+                    out.append(tup)
+            stats.tuples_visible += len(out)
+        return out
+
+
+# -- structural checks (integrity sweep) -------------------------------------
+
+def check_index(db: "Database", index: "BTree") -> None:
+    """Run the index's structural invariant check under the engine latch."""
+    with db.latch:
+        index.check_invariants()
+
+
+def dangling_index_entries(db: "Database", index: "BTree",
+                           relation: "HeapRelation"
+                           ) -> "list[tuple[Key, TID]]":
+    """Index entries whose TID no longer resolves to a decodable tuple."""
+    out = []
+    with db.latch:
+        db.access_stats.range_scans += 1
+        for key, (blockno, slot) in index.range_scan():
+            tid = TID(blockno, slot)
+            try:
+                relation.fetch_any_version(tid)
+            except ReproError:
+                out.append((key, tid))
+    return out

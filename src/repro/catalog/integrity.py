@@ -119,23 +119,20 @@ class IntegrityChecker:
                                  f"{label} {xid} has no commit time")
 
     def _check_index(self, index_name: str) -> None:
+        from repro.access.scan import check_index, dangling_index_entries
         entry = self.db.catalog.indexes.get(index_name)
         if entry is None or entry.relation not in self.db.catalog.relations:
             return
         try:
             index = self.db.get_index(index_name)
-            index.check_invariants()
+            check_index(self.db, index)
         except ReproError as exc:
             self._report(f"index {index_name!r}: {exc}")
             return
         relation = self.db.get_class(entry.relation)
-        with self.db.latch:  # raw page reads need the engine latch
-            for key, (blockno, slot) in index.range_scan():
-                try:
-                    relation.fetch_any_version(TID(blockno, slot))
-                except ReproError:
-                    self._report(f"index {index_name!r} entry {key}: "
-                                 f"dangling TID ({blockno},{slot})")
+        for key, tid in dangling_index_entries(self.db, index, relation):
+            self._report(f"index {index_name!r} entry {key}: "
+                         f"dangling TID ({tid.blockno},{tid.slot})")
 
     def _check_large_objects(self) -> None:
         from repro.db import PG_LARGEOBJECT

@@ -26,11 +26,11 @@ Example
 from __future__ import annotations
 
 import os
-import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.access.btree import BTree
 from repro.access.heap import HeapRelation
+from repro.access.scan import AccessStats, EngineLatch, IndexProbe
 from repro.access.schema import Attribute, Schema
 from repro.access.tuples import TID, HeapTuple
 from repro.adt.functions import FunctionRegistry
@@ -69,7 +69,8 @@ class Database:
     def __init__(self, path: str | None = None, pool_size: int = 256,
                  mips: float = 15.0, worm_cache_blocks: int = 1024,
                  charge_cpu: bool = True, no_wait: bool = False,
-                 lock_timeout: float | None = None):
+                 lock_timeout: float | None = None,
+                 debug_latch: bool | None = None):
         self.path = path
         self.clock = SimClock()
         self.cpu = CpuModel(mips=mips)
@@ -85,10 +86,25 @@ class Database:
         #: immediately, like the old no-wait policy did.
         self.locks = LockManager(no_wait=no_wait, timeout=lock_timeout)
         #: Engine latch: serializes structural mutation (page content,
-        #: relation/index caches) across sessions.  Heavyweight locks are
+        #: relation/index caches) across sessions.  The canonical rule
+        #: lives in DESIGN.md §"Locking discipline": heavyweight locks are
         #: ALWAYS taken before this latch, never while holding it — a
         #: blocking lock wait under the latch would stall every session.
-        self._latch = threading.RLock()
+        self._latch = EngineLatch()
+        #: Per-scan counters (probes, tuples scanned/visible, prefetch
+        #: batches) maintained by the scan descriptors in
+        #: :mod:`repro.access.scan`; see ``statistics()["access"]``.
+        self.access_stats = AccessStats()
+        #: Debug tripwire: when on, relations and indexes opened through
+        #: this Database assert the engine latch is held on raw reads
+        #: (``fetch``/``fetch_many``/``search``/``range_scan``), so code
+        #: bypassing the scan layer fails loudly instead of racing.
+        #: ``None`` defers to the REPRO_DEBUG_LATCH environment variable
+        #: (armed by tests/conftest.py for the whole suite).
+        if debug_latch is None:
+            debug_latch = os.environ.get(
+                "REPRO_DEBUG_LATCH", "") not in ("", "0")
+        self.debug_latch = debug_latch
 
         if path is not None:
             os.makedirs(path, exist_ok=True)
@@ -152,15 +168,18 @@ class Database:
         return self.switch.get(name or self.default_smgr_name)
 
     @property
-    def latch(self) -> threading.RLock:
+    def latch(self) -> EngineLatch:
         """The engine latch serializing page-content access.
 
         Tuple-level visibility is MVCC's job, but slot directories and
         B-tree nodes are only consistent *between* latched sections — so
         any subsystem reading pages directly (``index.search`` /
         ``range_scan`` plus ``relation.fetch``) must hold this latch, the
-        same one ``insert``/``replace``/``scan`` mutate under.  Re-entrant;
-        never acquire a heavyweight lock while holding it.
+        same one ``insert``/``replace``/``scan`` mutate under.  Normal
+        code never takes it by hand: the scan descriptors in
+        :mod:`repro.access.scan` own it for every read path.  Re-entrant;
+        never acquire a heavyweight lock while holding it (DESIGN.md
+        §"Locking discipline").
         """
         return self._latch
 
@@ -230,6 +249,8 @@ class Database:
             relation = HeapRelation(name, schema, manager, self.bufmgr,
                                     self.clog, self.catalog.allocate_oid,
                                     fileid=fileid)
+            if self.debug_latch:
+                relation.latch_probe = self._latch.held
             relation.create_storage()
             self._relations[name] = relation
             return relation
@@ -245,6 +266,8 @@ class Database:
                     self.storage_manager(entry.smgr_name), self.bufmgr,
                     self.clog, self.catalog.allocate_oid,
                     fileid=entry.fileid)
+                if self.debug_latch:
+                    relation.latch_probe = self._latch.held
                 relation.create_storage()
                 self._relations[name] = relation
             return relation
@@ -278,6 +301,8 @@ class Database:
             self.catalog.add_index(name, relation_name, attribute, fileid)
             index = BTree(name, self.storage_manager(entry.smgr_name),
                           self.bufmgr, key_arity=1, fileid=fileid)
+            if self.debug_latch:
+                index.latch_probe = self._latch.held
             index.create_storage()
             # Index any rows that already exist.
             position = relation.schema.position(attribute)
@@ -299,6 +324,8 @@ class Database:
                 index = BTree(name,
                               self.storage_manager(relation_entry.smgr_name),
                               self.bufmgr, key_arity=1, fileid=entry.fileid)
+                if self.debug_latch:
+                    index.latch_probe = self._latch.held
                 index.create_storage()
                 self._indexes[name] = index
             return index
@@ -440,17 +467,12 @@ class Database:
         deletion and the vacuum that prunes them.
         """
         snapshot = self.snapshot(txn, as_of=as_of)
-        with self._latch:
-            index = self.get_index(index_name)
-            entry = self.catalog.indexes[index_name]
-            relation = self.get_class(entry.relation)
-            position = relation.schema.position(entry.attribute)
-            results = []
-            for blockno, slot in index.search((key,)):
-                tup = relation.fetch(TID(blockno, slot), snapshot)
-                if tup is not None and tup.values[position] == key:
-                    results.append(tup)
-            return results
+        index = self.get_index(index_name)
+        entry = self.catalog.indexes[index_name]
+        relation = self.get_class(entry.relation)
+        position = relation.schema.position(entry.attribute)
+        return IndexProbe(self, index, relation, (key,),
+                          recheck_position=position).tuples(snapshot)
 
     # -- ADT registration -------------------------------------------------------------------------
 
@@ -579,12 +601,19 @@ class Database:
 
         Keys: ``clock`` (simulated seconds by category), ``buffer`` (pool
         counters and hit rate), ``storage`` (per-manager physical access
-        counters), ``catalog`` (object counts), ``transactions``, and
-        ``locks`` (grants, waits, wait time, deadlocks, victims).
+        counters), ``catalog`` (object counts), ``transactions``,
+        ``locks`` (grants, waits, wait time, deadlocks, victims),
+        ``access`` (scan-descriptor counters), and ``largeobjects``
+        (descriptor cache hits/misses).
         """
+        from repro.lo.metadata import LargeObjectCacheStats
         storage = {}
         for name, smgr in self.switch.items():
             storage[name] = smgr.stats()
+        # Avoid constructing the LO manager just to report zeros.
+        lo_caches = (self._lo_manager.cache_stats
+                     if self._lo_manager is not None
+                     else LargeObjectCacheStats())
         return {
             "clock": {"elapsed": self.clock.elapsed,
                       **self.clock.breakdown()},
@@ -610,6 +639,8 @@ class Database:
                 "active": self.tm.active_count(),
             },
             "locks": self.locks.stats.as_dict(),
+            "access": self.access_stats.as_dict(),
+            "largeobjects": lo_caches.as_dict(),
         }
 
     def close(self) -> None:

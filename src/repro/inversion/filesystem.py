@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
-from repro.access.tuples import TID, HeapTuple
+from repro.access.scan import IndexProbe
+from repro.access.tuples import HeapTuple
 from repro.errors import (
     DirectoryNotEmpty,
     FileExists,
@@ -119,13 +120,8 @@ class InversionFileSystem:
         index = self.db.get_index(index_name)
         entry = self.db.catalog.indexes[index_name]
         relation = self.db.get_class(entry.relation)
-        rows = []
-        with self.db.latch:  # raw page reads need the engine latch
-            for blockno, slot in index.search((key,)):
-                tup = relation.fetch(TID(blockno, slot), snapshot)
-                if tup is not None:
-                    rows.append(tup)
-        return rows
+        return IndexProbe(self.db, index, relation,
+                          (key,)).tuples(snapshot)
 
     def _children(self, parent_id: int,
                   snapshot: Snapshot) -> list[DirEntry]:

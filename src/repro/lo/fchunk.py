@@ -41,10 +41,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
-from repro.access.tuples import TID, HeapTuple
+from repro.access.scan import IndexProbe, IndexRangeScan
+from repro.access.tuples import HeapTuple
 from repro.compress.base import Compressor
-from repro.db import PG_LARGEOBJECT
 from repro.errors import LargeObjectError, NoActiveTransaction
+from repro.lo import metadata
 from repro.lo.interface import LargeObject
 from repro.storage.constants import CHUNK_PAYLOAD
 from repro.txn.manager import Transaction
@@ -105,6 +106,7 @@ class FChunkObject(LargeObject):
         # repeating work for every frame in a chunk) and backward seeks
         # within the window never re-inflate.
         self._read_cache: OrderedDict[int, bytes] = OrderedDict()
+        self._cache_stats = db.lo.cache_stats
         if writable:
             self._pending_size = self._read_size(self._snapshot())
             txn.before_commit.append(self.flush)
@@ -116,24 +118,8 @@ class FChunkObject(LargeObject):
 
     # -- size row ------------------------------------------------------------------
 
-    def _size_row(self, snapshot: Snapshot) -> HeapTuple:
-        index = self.db.get_index("pg_largeobject_loid")
-        relation = self.db.get_class(PG_LARGEOBJECT)
-        # Readers take no heavyweight lock, but the raw page reads (index
-        # descent + tuple fetch) need the engine latch: pg_largeobject and
-        # its index are shared by every object, so a writer of some other
-        # object may be splitting a node or rewriting a slot directory.
-        with self.db.latch:
-            for blockno, slot in index.search((self.oid,)):
-                tup = relation.fetch(TID(blockno, slot), snapshot)
-                if tup is not None:
-                    return tup
-        raise LargeObjectError(
-            f"large object {self.oid} has no size record "
-            f"(not visible to this snapshot?)")
-
     def _read_size(self, snapshot: Snapshot) -> int:
-        return self._size_row(snapshot).values[1]
+        return metadata.read_size(self.db, self.oid, snapshot)
 
     def _size(self) -> int:
         if self._pending_size is not None:
@@ -142,22 +128,19 @@ class FChunkObject(LargeObject):
 
     # -- chunk access -----------------------------------------------------------------
 
+    def _chunk_anomaly(self, key, count: int) -> LargeObjectError:
+        """Anomaly diagnostic for the scan layer's ``unique`` mode."""
+        return LargeObjectError(
+            f"large object {self.oid}: {count} visible versions of "
+            f"chunk {key[0]} (snapshot anomaly)")
+
     def _chunk_tuple(self, seqno: int,
                      snapshot: Snapshot) -> HeapTuple | None:
         """The visible version of chunk *seqno*, or ``None``."""
-        candidates = []
-        with self.db.latch:
-            for blockno, slot in self.index.search((seqno,)):
-                tup = self.relation.fetch(TID(blockno, slot), snapshot)
-                if tup is not None:
-                    candidates.append(tup)
-        if not candidates:
-            return None
-        if len(candidates) > 1:
-            raise LargeObjectError(
-                f"large object {self.oid}: {len(candidates)} visible "
-                f"versions of chunk {seqno} (snapshot anomaly)")
-        return candidates[0]
+        candidates = IndexProbe(
+            self.db, self.index, self.relation, (seqno,),
+            unique=True, anomaly=self._chunk_anomaly).tuples(snapshot)
+        return candidates[0] if candidates else None
 
     def _stored_chunk_bytes(self, seqno: int,
                             snapshot: Snapshot) -> bytes | None:
@@ -172,8 +155,10 @@ class FChunkObject(LargeObject):
             return bytes(self._buf_data)
         cached = self._read_cache.get(seqno)
         if cached is not None:
+            self._cache_stats.read_cache_hits += 1
             self._read_cache.move_to_end(seqno)
             return cached
+        self._cache_stats.read_cache_misses += 1
         data = self._stored_chunk_bytes(seqno, snapshot)
         if data is not None:
             self._cache_chunk(seqno, data)
@@ -196,29 +181,13 @@ class FChunkObject(LargeObject):
         blocks the scan resolved to are read ahead before the fetch loop
         pins them.
         """
-        wanted = set(seqnos)
-        candidates: dict[int, list[TID]] = {}
-        out: dict[int, HeapTuple] = {}
-        with self.db.latch:  # see _size_row: page reads need the latch
-            for (seqno,), (blockno, slot) in self.index.range_scan(
-                    (min(wanted),), (max(wanted),)):
-                if seqno in wanted:
-                    candidates.setdefault(seqno, []).append(
-                        TID(blockno, slot))
-            self.relation.prefetch_tids(
-                [tid for tids in candidates.values() for tid in tids])
-            for seqno, tids in candidates.items():
-                visible = [tup for tid in tids
-                           if (tup := self.relation.fetch(tid, snapshot))
-                           is not None]
-                if not visible:
-                    continue
-                if len(visible) > 1:
-                    raise LargeObjectError(
-                        f"large object {self.oid}: {len(visible)} visible "
-                        f"versions of chunk {seqno} (snapshot anomaly)")
-                out[seqno] = visible[0]
-        return out
+        scan = IndexRangeScan(
+            self.db, self.index, self.relation,
+            (min(seqnos),), (max(seqnos),),
+            unique=True, anomaly=self._chunk_anomaly)
+        wanted = {(seqno,) for seqno in seqnos}
+        return {key[0]: tup
+                for key, tup in scan.visible(snapshot, wanted=wanted)}
 
     # -- write buffer ------------------------------------------------------------------
 
@@ -250,11 +219,8 @@ class FChunkObject(LargeObject):
     def _flush_size(self) -> None:
         if self._pending_size is None:
             return
-        snapshot = self._snapshot()
-        row = self._size_row(snapshot)
-        if row.values[1] != self._pending_size:
-            self.db.replace(self.txn, PG_LARGEOBJECT, row.tid,
-                            (self.oid, self._pending_size))
+        metadata.write_size(self.db, self.txn, self.oid,
+                            self._pending_size)
 
     def _switch_buffer(self, seqno: int, snapshot: Snapshot) -> None:
         """Point the write buffer at *seqno*, flushing the previous chunk."""
@@ -302,9 +268,11 @@ class FChunkObject(LargeObject):
             else:
                 cached = self._read_cache.get(seqno)
                 if cached is not None:
+                    self._cache_stats.read_cache_hits += 1
                     self._read_cache.move_to_end(seqno)
                     chunks[seqno] = cached
                 else:
+                    self._cache_stats.read_cache_misses += 1
                     missing.append(seqno)
         if missing:
             fetched = self._visible_chunk_tuples(missing, snapshot)

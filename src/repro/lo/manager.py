@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.access.tuples import TID
 from repro.compress.base import get_compressor
 from repro.db import PG_LARGEOBJECT
 from repro.errors import LargeObjectError, LargeObjectNotFound
+from repro.lo import metadata
 from repro.lo.fchunk import FChunkObject, chunk_class_name, chunk_index_name
 from repro.lo.interface import LargeObject
 from repro.lo.nativefs import NativeFileSystem
@@ -69,6 +69,9 @@ class LargeObjectManager:
             root = os.path.join(db.path, "files")
         self.nativefs = NativeFileSystem(db.clock, root=root)
         self._pfile_writers: set[str] = set()
+        #: Aggregated hit/miss counters for every descriptor's
+        #: decompressed-data cache; ``db.statistics()["largeobjects"]``.
+        self.cache_stats = metadata.LargeObjectCacheStats()
 
     # -- creation --------------------------------------------------------------------
 
@@ -259,18 +262,12 @@ class LargeObjectManager:
         self.db.locks.acquire(txn.xid, ("largeobject", oid),
                               LockMode.EXCLUSIVE)
         entry = self.db.catalog.get_large_object(oid)
-        # Delete the size row (transactional part).
+        # Delete the size row (transactional part).  The scan collects
+        # (and releases the engine latch) before the deletes: db.delete
+        # takes a heavyweight relation lock, which must never be acquired
+        # while the latch is held.
         snapshot = self.db.snapshot(txn)
-        index = self.db.get_index("pg_largeobject_loid")
-        relation = self.db.get_class(PG_LARGEOBJECT)
-        # Collect under the engine latch (raw page reads), delete outside
-        # it: db.delete takes a heavyweight relation lock, which must
-        # never be acquired while the latch is held.
-        with self.db.latch:
-            rows = [row for blockno, slot in index.search((oid,))
-                    if (row := relation.fetch(TID(blockno, slot),
-                                              snapshot)) is not None]
-        for row in rows:
+        for row in metadata.size_rows(self.db, oid, snapshot):
             self.db.delete(txn, PG_LARGEOBJECT, row.tid)
         # Drop the relations (DDL).
         if entry.impl == "vsegment":

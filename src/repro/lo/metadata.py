@@ -1,0 +1,87 @@
+"""``pg_largeobject`` size-row bookkeeping, shared by every chunked
+implementation.
+
+A chunked large object's only mutable scalar state — its byte size —
+lives as a row in the ``pg_largeobject`` system class, where no-overwrite
+versioning makes it roll back on abort and travel in time along with the
+chunks.  f-chunk descriptors, v-segment descriptors, and the manager's
+unlink path all read and update that row; the helpers here are the one
+copy of that logic, built on the scan descriptors of
+:mod:`repro.access.scan` (which own the engine-latch discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.access.scan import IndexProbe
+from repro.access.tuples import HeapTuple
+from repro.db import PG_LARGEOBJECT
+from repro.errors import LargeObjectError
+from repro.txn.snapshot import Snapshot
+
+if TYPE_CHECKING:
+    from repro.db import Database
+    from repro.txn.manager import Transaction
+
+#: B-tree on ``pg_largeobject.loid`` (created at bootstrap).
+SIZE_INDEX = "pg_largeobject_loid"
+
+
+@dataclass
+class LargeObjectCacheStats:
+    """Hit/miss counters for the descriptor-level decompressed caches.
+
+    One instance lives on the :class:`~repro.lo.manager.LargeObjectManager`
+    and aggregates across every descriptor, f-chunk read caches and
+    v-segment segment caches alike; ``db.statistics()["largeobjects"]``
+    reports it.
+    """
+
+    read_cache_hits: int = 0        # f-chunk _read_cache
+    read_cache_misses: int = 0
+    segment_cache_hits: int = 0     # v-segment _segment_cache
+    segment_cache_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "read_cache_hits": self.read_cache_hits,
+            "read_cache_misses": self.read_cache_misses,
+            "segment_cache_hits": self.segment_cache_hits,
+            "segment_cache_misses": self.segment_cache_misses,
+        }
+
+
+def _probe(db: "Database", oid: int) -> IndexProbe:
+    return IndexProbe(db, db.get_index(SIZE_INDEX),
+                      db.get_class(PG_LARGEOBJECT), (oid,))
+
+
+def size_row(db: "Database", oid: int, snapshot: Snapshot) -> HeapTuple:
+    """The visible ``pg_largeobject`` row of *oid*; raises if absent."""
+    row = _probe(db, oid).first(snapshot)
+    if row is None:
+        raise LargeObjectError(
+            f"large object {oid} has no size record "
+            f"(not visible to this snapshot?)")
+    return row
+
+
+def size_rows(db: "Database", oid: int,
+              snapshot: Snapshot) -> list[HeapTuple]:
+    """Every visible size-row version (unlink deletes each one)."""
+    return _probe(db, oid).tuples(snapshot)
+
+
+def read_size(db: "Database", oid: int, snapshot: Snapshot) -> int:
+    """The object's byte size as of *snapshot*."""
+    return size_row(db, oid, snapshot).values[1]
+
+
+def write_size(db: "Database", txn: "Transaction", oid: int,
+               size: int) -> None:
+    """Persist *size* as a new row version, if it changed."""
+    row = size_row(db, oid, db.snapshot(txn))
+    if row.values[1] != size:
+        db.replace(txn, PG_LARGEOBJECT, row.tid, (oid, size))

@@ -28,10 +28,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.access.scan import IndexRangeScan
 from repro.access.tuples import TID, HeapTuple
 from repro.compress.base import Compressor
-from repro.db import PG_LARGEOBJECT
 from repro.errors import LargeObjectError, NoActiveTransaction
+from repro.lo import metadata
 from repro.lo.fchunk import FChunkObject
 from repro.lo.interface import LargeObject
 from repro.txn.manager import Transaction
@@ -90,9 +91,10 @@ class VSegmentObject(LargeObject):
         # Descriptor-level LRU of decompressed segments (see
         # SEGMENT_CACHE_ENTRIES for why TID keys are safe).
         self._segment_cache: OrderedDict[TID, bytes] = OrderedDict()
+        self._cache_stats = db.lo.cache_stats
         if writable:
-            self._pending_size = self._size_row(
-                self._snapshot()).values[1]
+            self._pending_size = metadata.read_size(
+                db, oid, self._snapshot())
             txn.before_commit.append(self.flush)
 
     # -- snapshots / size ---------------------------------------------------------
@@ -100,49 +102,43 @@ class VSegmentObject(LargeObject):
     def _snapshot(self) -> Snapshot:
         return self.db.snapshot(self.txn, as_of=self.as_of)
 
-    def _size_row(self, snapshot: Snapshot) -> HeapTuple:
-        index = self.db.get_index("pg_largeobject_loid")
-        relation = self.db.get_class(PG_LARGEOBJECT)
-        # Page reads under the engine latch — see FChunkObject._size_row.
-        with self.db.latch:
-            for blockno, slot in index.search((self.oid,)):
-                tup = relation.fetch(TID(blockno, slot), snapshot)
-                if tup is not None:
-                    return tup
-        raise LargeObjectError(
-            f"large object {self.oid} has no size record")
-
     def _size(self) -> int:
         if self._pending_size is not None:
             return self._pending_size
-        return self._size_row(self._snapshot()).values[1]
+        return metadata.read_size(self.db, self.oid, self._snapshot())
 
     def flush(self) -> None:
         """Materialize the pending size row (and the store's buffer)."""
         if self._closed or self._pending_size is None:
             return
         self.store.flush()
-        snapshot = self._snapshot()
-        row = self._size_row(snapshot)
-        if row.values[1] != self._pending_size:
-            self.db.replace(self.txn, PG_LARGEOBJECT, row.tid,
-                            (self.oid, self._pending_size))
+        metadata.write_size(self.db, self.txn, self.oid,
+                            self._pending_size)
 
     # -- segment lookup --------------------------------------------------------------
+
+    def _segment_anomaly(self, key, count: int) -> LargeObjectError:
+        """Anomaly diagnostic for the scan layer's ``unique`` mode.
+
+        Two visible versions of the segment at one ``locn`` would mean
+        ``_read_at`` lets whichever sorts later silently overwrite the
+        other's bytes — that is a snapshot anomaly, diagnosed exactly as
+        f-chunk diagnoses duplicate chunk versions.
+        """
+        return LargeObjectError(
+            f"large object {self.oid}: {count} visible versions of "
+            f"segment {key[0]} (snapshot anomaly)")
 
     def _segments_overlapping(self, start: int, end: int,
                               snapshot: Snapshot) -> list[HeapTuple]:
         """Visible segment records intersecting ``[start, end)``, sorted."""
         lo_key = max(0, start - SEGMENT_MAX)
-        found = []
-        with self.db.latch:  # page reads — see FChunkObject._size_row
-            tids = [TID(blockno, slot)
-                    for _key, (blockno, slot) in self.index.range_scan(
-                        (lo_key,), (end - 1,))]
-            for tup in self.relation.fetch_many(tids, snapshot):
-                locn, length, _clen, _ptr = tup.values
-                if locn + length > start and locn < end:
-                    found.append(tup)
+        scan = IndexRangeScan(self.db, self.index, self.relation,
+                              (lo_key,), (end - 1,),
+                              unique=True, anomaly=self._segment_anomaly)
+        found = [tup for _key, tup in scan.visible(snapshot)
+                 if tup.values[0] + tup.values[1] > start
+                 and tup.values[0] < end]
         found.sort(key=lambda t: t.values[0])
         return found
 
@@ -150,8 +146,10 @@ class VSegmentObject(LargeObject):
         """Decompressed contents of one segment (LRU-cached)."""
         cached = self._segment_cache.get(record.tid)
         if cached is not None:
+            self._cache_stats.segment_cache_hits += 1
             self._segment_cache.move_to_end(record.tid)
             return cached
+        self._cache_stats.segment_cache_misses += 1
         _locn, length, clen, ptr = record.values
         image = self.store._read_at(ptr, clen)
         data = self.compressor.decompress(image)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any
 
+from repro.access.scan import IndexProbe, IndexRangeScan, SeqScan
 from repro.access.schema import SCALAR_TYPES, Attribute
 from repro.adt.values import Datum
 from repro.errors import ExecutionError
@@ -301,32 +302,24 @@ class Executor:
                 index = self.db.get_index(index_name)
                 entry = self.db.catalog.indexes[index_name]
                 position = relation.schema.position(entry.attribute)
-                from repro.access.tuples import TID
-                # Materialize under the engine latch (raw page reads);
-                # qualifications are evaluated outside it, so user
-                # functions can run DML without lock-before-latch issues.
-                with self.db.latch:
-                    matches = [
-                        tup for blockno, slot in index.search((key,))
-                        if (tup := relation.fetch(TID(blockno, slot),
-                                                  snapshot)) is not None
-                        # Re-check the key: stale entries must never
-                        # surface.
-                        and tup.values[position] == key]
-                yield from matches
+                # The scan descriptor materializes under the engine
+                # latch and re-checks the key against the fetched tuple
+                # (stale entries must never surface); qualifications are
+                # evaluated outside the latch, so user functions can run
+                # DML without lock-before-latch issues.
+                yield from IndexProbe(
+                    self.db, index, relation, (key,),
+                    recheck_position=position).tuples(snapshot)
                 return
             rng = self._find_index_range(class_ref.name, qualification)
             if rng is not None:
                 index_name, attribute, lo, hi = rng
                 index = self.db.get_index(index_name)
                 position = relation.schema.position(attribute)
-                from repro.access.tuples import TID
-                with self.db.latch:
-                    tids = [TID(blockno, slot)
-                            for _key, (blockno, slot) in index.range_scan(
-                                None if lo is None else (lo,),
-                                None if hi is None else (hi,))]
-                    fetched = list(relation.fetch_many(tids, snapshot))
+                fetched = IndexRangeScan(
+                    self.db, index, relation,
+                    None if lo is None else (lo,),
+                    None if hi is None else (hi,)).tuples(snapshot)
                 for tup in fetched:
                     # Re-check bounds: stale entries must never surface.
                     value = tup.values[position]
@@ -338,9 +331,7 @@ class Executor:
                         continue
                     yield tup
                 return
-        with self.db.latch:
-            tuples = list(relation.scan(snapshot))
-        yield from tuples
+        yield from SeqScan(self.db, relation).tuples(snapshot)
 
     def _find_index_probe(self, class_name: str,
                           qualification) -> tuple[str, int] | None:

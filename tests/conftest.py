@@ -1,9 +1,17 @@
 """Shared fixtures: a wired-up storage/transaction stack without the DB façade."""
 
 import itertools
+import os
 import threading
 
 import pytest
+
+# Arm the engine-latch tripwire for the whole suite: every Database the
+# tests construct asserts that raw page reads (relation.fetch, B-tree
+# search/range_scan) happen under the engine latch — i.e. through the
+# scan layer in repro.access.scan.  setdefault, so a caller can still
+# run with REPRO_DEBUG_LATCH=0 to measure without the checks.
+os.environ.setdefault("REPRO_DEBUG_LATCH", "1")
 
 from repro.sim import SimClock
 from repro.smgr import MemoryStorageManager

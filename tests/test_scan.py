@@ -1,0 +1,341 @@
+"""The unified access-path layer: scan descriptors, per-scan statistics,
+the ``unique`` visible-version invariant, and the latch tripwire."""
+
+import threading
+
+import pytest
+
+from repro.access.scan import (
+    EngineLatch,
+    IndexProbe,
+    IndexRangeScan,
+    SeqScan,
+)
+from repro.db import Database
+from repro.errors import LargeObjectError, ReproError
+from repro.lo import metadata
+from repro.lo.fchunk import chunk_class_name
+from repro.lo.vsegment import segment_class_name
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    yield database
+    database.close()
+
+
+def _fill(db, rows=10):
+    db.create_class("T", [("k", "int4"), ("v", "int4")])
+    db.create_index("t_k", "T", "k")
+    with db.begin() as txn:
+        for i in range(rows):
+            db.insert(txn, "T", (i, i * 100))
+
+
+class TestEngineLatch:
+    def test_held_tracks_owner_reentrantly(self):
+        latch = EngineLatch()
+        assert not latch.held()
+        with latch:
+            assert latch.held()
+            with latch:
+                assert latch.held()
+            assert latch.held()  # still owned after inner exit
+        assert not latch.held()
+
+    def test_held_is_per_thread(self):
+        latch = EngineLatch()
+        seen = []
+        with latch:
+            worker = threading.Thread(
+                target=lambda: seen.append(latch.held()), daemon=True)
+            worker.start()
+            worker.join(5)
+        assert seen == [False]
+
+
+class TestIndexProbe:
+    def test_probe_returns_visible_versions(self, db):
+        _fill(db)
+        probe = IndexProbe(db, db.get_index("t_k"), db.get_class("T"),
+                           (4,))
+        [tup] = probe.tuples(db.snapshot())
+        assert tup.values == (4, 400)
+
+    def test_first_stops_at_first_visible(self, db):
+        _fill(db)
+        probe = IndexProbe(db, db.get_index("t_k"), db.get_class("T"),
+                           (4,))
+        assert probe.first(db.snapshot()).values == (4, 400)
+        assert probe.first(db.snapshot(as_of=0.0)) is None
+
+    def test_unique_mode_raises_on_duplicates(self, db):
+        _fill(db)
+        with db.begin() as txn:
+            db.insert(txn, "T", (4, 999))  # second visible row, same key
+        index, relation = db.get_index("t_k"), db.get_class("T")
+        # Non-unique: both versions surface.
+        assert len(IndexProbe(db, index, relation,
+                              (4,)).tuples(db.snapshot())) == 2
+        with pytest.raises(ReproError, match="snapshot anomaly"):
+            IndexProbe(db, index, relation, (4,),
+                       unique=True).tuples(db.snapshot())
+
+    def test_unique_mode_uses_caller_anomaly(self, db):
+        _fill(db)
+        with db.begin() as txn:
+            db.insert(txn, "T", (4, 999))
+        probe = IndexProbe(
+            db, db.get_index("t_k"), db.get_class("T"), (4,),
+            unique=True,
+            anomaly=lambda key, count: LargeObjectError(
+                f"dup {key[0]} x{count}"))
+        with pytest.raises(LargeObjectError, match="dup 4 x2"):
+            probe.tuples(db.snapshot())
+
+    def test_recheck_rejects_stale_entries(self, db):
+        """A freed slot reused by an unrelated tuple must not satisfy a
+        stale index probe when a recheck position is given."""
+        db.create_class("T", [("k", "int4")])
+        db.create_index("t_k", "T", "k")
+        with db.begin() as txn:
+            tid = db.insert(txn, "T", (111,))
+        with db.begin() as txn:
+            db.delete(txn, "T", tid)
+        db.get_class("T").vacuum()  # frees the slot, keeps the entry
+        with db.begin() as txn:
+            db.insert(txn, "T", (222,))  # reuses the freed slot
+        probe = IndexProbe(db, db.get_index("t_k"), db.get_class("T"),
+                           (111,), recheck_position=0)
+        assert probe.tuples(db.snapshot()) == []
+
+
+class TestIndexRangeScan:
+    def test_bounds_and_order(self, db):
+        _fill(db)
+        scan = IndexRangeScan(db, db.get_index("t_k"), db.get_class("T"),
+                              (3,), (7,))
+        assert [t.values[0] for t in scan.tuples(db.snapshot())] == [
+            3, 4, 5, 6, 7]
+
+    def test_open_bounds(self, db):
+        _fill(db)
+        scan = IndexRangeScan(db, db.get_index("t_k"), db.get_class("T"),
+                              None, None)
+        assert len(scan.tuples(db.snapshot())) == 10
+
+    def test_wanted_filters_keys(self, db):
+        _fill(db)
+        scan = IndexRangeScan(db, db.get_index("t_k"), db.get_class("T"),
+                              (0,), (9,))
+        pairs = scan.visible(db.snapshot(), wanted={(2,), (5,)})
+        assert [key for key, _tup in pairs] == [(2,), (5,)]
+
+    def test_entries_returns_raw_index_entries(self, db):
+        _fill(db)
+        scan = IndexRangeScan(db, db.get_index("t_k"), db.get_class("T"),
+                              (8,), (9,))
+        assert [key for key, _tid in scan.entries()] == [(8,), (9,)]
+
+    def test_unique_mode_raises_on_duplicates(self, db):
+        _fill(db)
+        with db.begin() as txn:
+            db.insert(txn, "T", (6, 999))
+        scan = IndexRangeScan(db, db.get_index("t_k"), db.get_class("T"),
+                              (0,), (9,), unique=True)
+        with pytest.raises(ReproError, match="snapshot anomaly"):
+            scan.visible(db.snapshot())
+
+
+class TestSeqScan:
+    def test_matches_relation_scan(self, db):
+        _fill(db)
+        with db.begin() as txn:
+            uncommitted = db.begin()
+            db.insert(uncommitted, "T", (50, 0))  # never committed
+            tuples = SeqScan(db, db.get_class("T")).tuples(
+                db.snapshot(txn))
+            assert [t.values[0] for t in tuples] == list(range(10))
+            uncommitted.abort()
+
+
+class TestAccessStatistics:
+    def test_probe_and_seq_counters(self, db):
+        _fill(db)
+        before = db.statistics()["access"]
+        [hit] = db.index_lookup("t_k", 5)
+        assert hit.values == (5, 500)
+        after = db.statistics()["access"]
+        assert after["probes"] == before["probes"] + 1
+        assert after["tuples_visible"] == before["tuples_visible"] + 1
+        db.execute("retrieve (T.v)")
+        assert db.statistics()["access"]["seq_scans"] \
+            == after["seq_scans"] + 1
+
+    def test_executor_range_scan_counted(self, db):
+        _fill(db)
+        before = db.statistics()["access"]["range_scans"]
+        result = db.execute(
+            "retrieve (T.v) where T.k >= 3 and T.k <= 7")
+        assert result.count == 5
+        assert db.statistics()["access"]["range_scans"] == before + 1
+
+    def test_lo_read_counts_scan_and_prefetch(self, db):
+        txn = db.begin()
+        designator = db.lo.create(txn, "fchunk")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(bytes(8000 * 12))  # 12 chunks -> 12 heap blocks
+        txn.commit()
+        db.bufmgr.invalidate_all()  # cold pool, so readahead really reads
+        before = db.statistics()["access"]
+        with db.lo.open(designator) as obj:
+            assert len(obj.read()) == 8000 * 12
+        after = db.statistics()["access"]
+        assert after["range_scans"] > before["range_scans"]
+        assert after["tuples_visible"] >= before["tuples_visible"] + 12
+        # 12 contiguous chunk blocks form at least one readahead run.
+        assert after["prefetch_batches"] > before["prefetch_batches"]
+
+
+class TestLargeObjectCacheStatistics:
+    def test_zeros_before_any_large_object(self, db):
+        # Must not construct the LO manager as a side effect.
+        assert db.statistics()["largeobjects"] == {
+            "read_cache_hits": 0, "read_cache_misses": 0,
+            "segment_cache_hits": 0, "segment_cache_misses": 0}
+        assert db._lo_manager is None
+
+    def test_fchunk_read_cache_counted(self, db):
+        txn = db.begin()
+        designator = db.lo.create(txn, "fchunk")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(b"a" * 100)
+        txn.commit()
+        with db.lo.open(designator) as obj:
+            obj.read()
+            obj.seek(0)
+            obj.read()  # same chunk again: must hit the read cache
+        caches = db.statistics()["largeobjects"]
+        assert caches["read_cache_misses"] >= 1
+        assert caches["read_cache_hits"] >= 1
+
+    def test_vsegment_segment_cache_counted(self, db):
+        txn = db.begin()
+        designator = db.lo.create(txn, "vsegment")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(b"b" * 100)
+        txn.commit()
+        with db.lo.open(designator) as obj:
+            obj.read()
+            obj.seek(0)
+            obj.read()
+        caches = db.statistics()["largeobjects"]
+        assert caches["segment_cache_misses"] >= 1
+        assert caches["segment_cache_hits"] >= 1
+
+
+class TestVisibleVersionInvariant:
+    """The snapshot-anomaly diagnostics both chunked implementations now
+    get from the scan layer's ``unique`` mode."""
+
+    def test_fchunk_duplicate_chunk_version_raises(self, db):
+        txn = db.begin()
+        designator = db.lo.create(txn, "fchunk")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(b"x" * 100)
+        txn.commit()
+        oid = int(designator[3:])
+        [chunk] = list(db.scan(chunk_class_name(oid)))
+        with db.begin() as txn:
+            db.insert(txn, chunk_class_name(oid), chunk.values)
+        with db.lo.open(designator) as obj:
+            with pytest.raises(LargeObjectError,
+                               match="2 visible versions of chunk 0 "
+                                     r"\(snapshot anomaly\)"):
+                obj.read(10)
+
+    def test_vsegment_duplicate_segment_version_raises(self, db):
+        """Regression: duplicate visible versions of one ``locn`` used to
+        be accepted silently, the later one overwriting the earlier one's
+        bytes in ``_read_at``."""
+        txn = db.begin()
+        designator = db.lo.create(txn, "vsegment")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(b"y" * 100)
+        txn.commit()
+        oid = int(designator[3:])
+        [segment] = list(db.scan(segment_class_name(oid)))
+        with db.begin() as txn:
+            db.insert(txn, segment_class_name(oid), segment.values)
+        with db.lo.open(designator) as obj:
+            with pytest.raises(LargeObjectError,
+                               match="2 visible versions of segment 0 "
+                                     r"\(snapshot anomaly\)"):
+                obj.read(10)
+
+    def test_size_row_missing_diagnostic(self, db):
+        with pytest.raises(LargeObjectError, match="no size record"):
+            metadata.size_row(db, 424242, db.snapshot())
+
+
+class TestLatchTripwire:
+    def test_armed_by_default_under_pytest(self, db):
+        # conftest.py sets REPRO_DEBUG_LATCH=1, so the whole tier-1
+        # suite (this fixture included) runs with the tripwire armed.
+        assert db.debug_latch
+
+    def test_raw_heap_fetch_trips(self, db):
+        db.create_class("T", [("v", "int4")])
+        with db.begin() as txn:
+            tid = db.insert(txn, "T", (1,))
+        relation = db.get_class("T")
+        snapshot = db.snapshot()
+        with pytest.raises(AssertionError, match="engine latch"):
+            relation.fetch(tid, snapshot)
+        with pytest.raises(AssertionError, match="engine latch"):
+            relation.fetch_many([tid], snapshot)
+        with db.latch:  # latched raw access stays legal
+            assert relation.fetch(tid, snapshot).values == (1,)
+
+    def test_raw_index_reads_trip(self, db):
+        _fill(db)
+        index = db.get_index("t_k")
+        with pytest.raises(AssertionError, match="engine latch"):
+            index.search((1,))
+        # range_scan must trip at call time, not at first next(): the
+        # generator body would otherwise run after the caller's latch
+        # block already exited.
+        with pytest.raises(AssertionError, match="engine latch"):
+            index.range_scan()
+        with db.latch:
+            assert len(index.search((1,))) == 1
+
+    def test_diagnostics_bypass_the_tripwire(self, db):
+        _fill(db)
+        index = db.get_index("t_k")
+        assert index.entry_count() == 10
+        index.check_invariants()
+
+    def test_disarmed_database_allows_raw_reads(self):
+        with Database(debug_latch=False) as db:
+            db.create_class("T", [("v", "int4")])
+            with db.begin() as txn:
+                tid = db.insert(txn, "T", (1,))
+            assert db.get_class("T").fetch(
+                tid, db.snapshot()).values == (1,)
+
+    def test_scan_layer_satisfies_the_tripwire(self, db):
+        _fill(db)
+        probe = IndexProbe(db, db.get_index("t_k"), db.get_class("T"),
+                           (3,))
+        assert len(probe.tuples(db.snapshot())) == 1
+
+    def test_integrity_sweep_runs_clean_with_tripwire(self, db):
+        _fill(db)
+        txn = db.begin()
+        designator = db.lo.create(txn, "vsegment")
+        with db.lo.open(designator, txn, "rw") as obj:
+            obj.write(b"z" * 100)
+        txn.commit()
+        assert db.check_integrity() == []
