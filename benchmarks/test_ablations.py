@@ -1,6 +1,5 @@
 """Ablation benches for the design choices DESIGN.md calls out."""
 
-import pytest
 
 from repro.bench.figures import (
     run_ablation_buffer_pool,

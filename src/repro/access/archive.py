@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from repro.access.heap import HeapRelation
-from repro.access.tuples import HeapTuple, read_stamps, serialize_tuple
+from repro.access.tuples import HeapTuple, read_stamps
 from repro.errors import RelationError
 from repro.storage.constants import INVALID_XID
 from repro.txn.snapshot import Snapshot

@@ -295,6 +295,23 @@ class SeqScan:
         return out
 
 
+def fetch_visible(db: "Database", relation: "HeapRelation", tid: TID,
+                  snapshot: Snapshot) -> HeapTuple | None:
+    """Point fetch: the visible tuple at *tid*, latched, or ``None``.
+
+    The TID analogue of :class:`IndexProbe` — the one sanctioned way to
+    resolve a caller-supplied TID outside this module (the ``Database``
+    facade's ``fetch`` routes through here).
+    """
+    with db.latch:
+        db.access_stats.probes += 1
+        db.access_stats.tuples_scanned += 1
+        tup = relation.fetch(tid, snapshot)
+        if tup is not None:
+            db.access_stats.tuples_visible += 1
+        return tup
+
+
 # -- structural checks (integrity sweep) -------------------------------------
 
 def check_index(db: "Database", index: "BTree") -> None:

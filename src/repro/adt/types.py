@@ -20,7 +20,7 @@ Conversion here is expressed as a named :class:`~repro.compress.base.Compressor`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import CastError, UnknownType

@@ -1,0 +1,66 @@
+"""Command-line entry point for the invariant linter.
+
+``python -m repro.analysis [--format json] [paths...]`` — also
+installed as the ``repro-lint`` console script.  Exits 0 when the tree
+is clean, 1 when there are findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.core import all_rules, analyze_paths, get_rule
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("AST-based invariant checks for the repro engine "
+                     "(latch ordering, scan-layer discipline, smgr-only "
+                     "I/O, simulated clock, transaction scope)"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    # Ensure the registry is populated even if only cli was imported.
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    if args.select:
+        try:
+            rules = [get_rule(rid.strip())
+                     for rid in args.select.split(",") if rid.strip()]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        rules = None
+
+    report = analyze_paths(args.paths, rules)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

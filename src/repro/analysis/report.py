@@ -1,0 +1,27 @@
+"""Reporters for the invariant linter: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Report
+
+
+def render_text(report: Report) -> str:
+    """ruff-style one-line-per-finding text, with a trailing summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}"
+        for f in report.findings
+    ]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    summary = (f"{len(report.findings)} {noun} in "
+               f"{report.files_checked} file(s) checked")
+    if report.suppressed:
+        summary += f" ({report.suppressed} suppressed)"
+    lines.append(summary if report.findings else f"OK — {summary}")
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """The full report as a JSON document (stable key order)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)

@@ -105,18 +105,17 @@ def load_object(db: Database, impl: str, workload: Workload,
                 fraction: float, compression: str,
                 smgr: str | None = None) -> str:
     """Create and fill the benchmark object; returns its designator."""
-    txn = db.begin()
-    if impl == "ufile":
-        designator = db.lo.create(txn, "ufile", path="/bench/object")
-    else:
-        designator = db.lo.create(txn, impl, smgr=smgr,
-                                  compression=compression)
-    with db.lo.open(designator, txn, "rw") as obj:
-        for frame_no in range(workload.total_frames):
-            obj.write(frame_bytes(frame_no, fraction,
-                                  workload.frame_size,
-                                  seed=workload.seed))
-    txn.commit()
+    with db.begin() as txn:
+        if impl == "ufile":
+            designator = db.lo.create(txn, "ufile", path="/bench/object")
+        else:
+            designator = db.lo.create(txn, impl, smgr=smgr,
+                                      compression=compression)
+        with db.lo.open(designator, txn, "rw") as obj:
+            for frame_no in range(workload.total_frames):
+                obj.write(frame_bytes(frame_no, fraction,
+                                      workload.frame_size,
+                                      seed=workload.seed))
     return designator
 
 
@@ -161,14 +160,13 @@ def run_operation(db: Database, designator: str, op: Operation,
                 obj.seek(frame_no * frame_size)
                 obj.read(frame_size)
     else:
-        txn = db.begin()
-        with db.lo.open(designator, txn, "rw") as obj:
-            for frame_no in op.frames:
-                obj.seek(frame_no * frame_size)
-                obj.write(frame_bytes(frame_no, fraction, frame_size,
-                                      generation=generation,
-                                      seed=workload.seed))
-        txn.commit()
+        with db.begin() as txn:
+            with db.lo.open(designator, txn, "rw") as obj:
+                for frame_no in op.frames:
+                    obj.seek(frame_no * frame_size)
+                    obj.write(frame_bytes(frame_no, fraction, frame_size,
+                                          generation=generation,
+                                          seed=workload.seed))
     return snap.since(db.clock).elapsed
 
 
@@ -309,17 +307,17 @@ def run_ablation_chunk_size(
         label = f"{payload}B chunks"
         db = _fresh_db(config)
         try:
-            txn = db.begin()
-            designator = db.lo.create(txn, "fchunk")
-            oid = designator_oid(designator)
-            snap = db.clock.snapshot()
-            obj = FChunkObject(db, oid, NullCompressor(), txn, True,
-                               chunk_payload=payload)
-            for frame_no in range(workload.total_frames):
-                obj.write(frame_bytes(frame_no, 0.0, workload.frame_size,
-                                      seed=workload.seed))
-            obj.close()
-            txn.commit()
+            with db.begin() as txn:
+                designator = db.lo.create(txn, "fchunk")
+                oid = designator_oid(designator)
+                snap = db.clock.snapshot()
+                obj = FChunkObject(db, oid, NullCompressor(), txn, True,
+                                   chunk_payload=payload)
+                for frame_no in range(workload.total_frames):
+                    obj.write(frame_bytes(frame_no, 0.0,
+                                          workload.frame_size,
+                                          seed=workload.seed))
+                obj.close()
             figure.set("load seconds", label,
                        snap.since(db.clock).elapsed)
             figure.set("data bytes", label,
@@ -459,19 +457,18 @@ def run_ablation_inversion_overhead(
         db = _fresh_db(config)
         try:
             snap = db.clock.snapshot()
-            txn = db.begin()
-            if via_inversion:
-                fs = db.inversion
-                handle = fs.create(txn, "/bench.object")
-            else:
-                designator = db.lo.create(txn, "fchunk")
-                handle = db.lo.open(designator, txn, "rw")
-            with handle:
-                for frame_no in range(workload.total_frames // 5):
-                    handle.write(frame_bytes(frame_no, 0.0,
-                                             workload.frame_size,
-                                             seed=workload.seed))
-            txn.commit()
+            with db.begin() as txn:
+                if via_inversion:
+                    fs = db.inversion
+                    handle = fs.create(txn, "/bench.object")
+                else:
+                    designator = db.lo.create(txn, "fchunk")
+                    handle = db.lo.open(designator, txn, "rw")
+                with handle:
+                    for frame_no in range(workload.total_frames // 5):
+                        handle.write(frame_bytes(frame_no, 0.0,
+                                                 workload.frame_size,
+                                                 seed=workload.seed))
             figure.set("load seconds", label,
                        snap.since(db.clock).elapsed)
             cool_down(db)

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.bench.claims import evaluate_claims
 from repro.bench.figures import (
-    ALL_FIGURES,
     BenchConfig,
     run_figure1,
     run_figure2,
@@ -18,7 +17,6 @@ from repro.bench.figures import (
 from repro.bench.report import (
     FigureResult,
     render_figure1_paper_layout,
-    render_table,
 )
 
 

@@ -145,6 +145,8 @@ class LargeObjectApi:
         oid = self.lo_creat(impl)
         fd = self.lo_open(oid, self.INV_WRITE)
         try:
+            # repro: allow(R003): lo_import reads a *host* file into the
+            # database (paper §3) — not an engine data path.
             with open(path, "rb") as source:
                 while True:
                     piece = source.read(1 << 16)
@@ -160,6 +162,8 @@ class LargeObjectApi:
         fd = self.lo_open(oid, self.INV_READ)
         total = 0
         try:
+            # repro: allow(R003): lo_export writes a *host* file — not an
+            # engine data path.
             with open(path, "wb") as target:
                 while True:
                     piece = self.lo_read(fd, 1 << 16)

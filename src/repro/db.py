@@ -30,7 +30,8 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.access.btree import BTree
 from repro.access.heap import HeapRelation
-from repro.access.scan import AccessStats, EngineLatch, IndexProbe
+from repro.access.scan import (AccessStats, EngineLatch, IndexProbe,
+                               fetch_visible)
 from repro.access.schema import Attribute, Schema
 from repro.access.tuples import TID, HeapTuple
 from repro.adt.functions import FunctionRegistry
@@ -415,8 +416,7 @@ class Database:
               as_of: float | None = None) -> HeapTuple | None:
         """The visible tuple at *tid*, or ``None``."""
         snapshot = self.snapshot(txn, as_of=as_of)
-        with self._latch:
-            return self.get_class(class_name).fetch(tid, snapshot)
+        return fetch_visible(self, self.get_class(class_name), tid, snapshot)
 
     def history(self, class_name: str, oid: int) -> list[dict]:
         """Every committed version of the logical tuple *oid*, oldest

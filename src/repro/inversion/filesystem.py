@@ -359,6 +359,8 @@ class InversionFileSystem:
                     self.mkdir(txn, target_dir)
             dirnames.sort()
             for filename in sorted(filenames):
+                # repro: allow(R003): import_tree copies *host* files
+                # into Inversion — not an engine data path.
                 with open(os.path.join(dirpath, filename), "rb") as fh:
                     data = fh.read()
                 self.write_file(txn, f"{target_dir}/{filename}", data)
@@ -384,6 +386,8 @@ class InversionFileSystem:
             for name in files:
                 data = self.read_file(f"{current.rstrip('/')}/{name}",
                                       txn, as_of=as_of)
+                # repro: allow(R003): export_tree writes *host* files —
+                # not an engine data path.
                 with open(os.path.join(target_dir, name), "wb") as fh:
                     fh.write(data)
                 exported += 1

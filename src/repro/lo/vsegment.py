@@ -193,7 +193,7 @@ class VSegmentObject(LargeObject):
         end = offset + len(data)
 
         overlapped = self._segments_overlapping(offset, end, snapshot)
-        new_start, new_end = offset, end
+        new_start = offset
         head = tail = b""
         if overlapped:
             first = overlapped[0]
@@ -204,7 +204,6 @@ class VSegmentObject(LargeObject):
             last_end = last.values[0] + last.values[1]
             if last_end > end:
                 tail = self._segment_bytes(last)[end - last.values[0]:]
-                new_end = last_end
         for record in overlapped:
             self.db.delete(self.txn, self.relation.name, record.tid)
 

@@ -138,7 +138,6 @@ def restore_database(db: "Database", source_dir: str) -> dict:
                                  compression=large_type["compression"])
     large_columns: dict[str, list[int]] = {}
     for cls in schema["classes"]:
-        from repro.access.schema import Schema
         columns = [(c["name"], c["type"]) for c in cls["columns"]]
         db.create_class(cls["name"], columns, smgr=cls["smgr"])
         large_columns[cls["name"]] = [
@@ -149,34 +148,33 @@ def restore_database(db: "Database", source_dir: str) -> dict:
         db.create_index(index["name"], index["relation"],
                         index["attribute"])
 
-    txn = db.begin()
     new_designators: dict[str, str] = {}
-    for old, info in manifest.items():
-        impl = info["impl"]
-        if impl == "ufile":
-            designator = db.lo.create_ufile(old)
-        elif impl == "pfile":
-            designator = db.lo.newfilename(txn)
-        else:
-            designator = db.lo.create(txn, impl,
-                                      compression=info["compression"])
-        with open(os.path.join(source_dir, "objects", info["file"]),
-                  "rb") as fh:
-            data = fh.read()
-        with db.lo.open(designator, txn, "rw") as obj:
-            obj.write(data)
-        new_designators[old] = designator
-
     tuples = 0
-    with open(os.path.join(source_dir, "data.jsonl")) as fh:
-        for line in fh:
-            record = json.loads(line)
-            values = [_decode_value(v) for v in record["values"]]
-            for position in large_columns[record["class"]]:
-                if values[position]:
-                    values[position] = new_designators[values[position]]
-            db.insert(txn, record["class"], tuple(values))
-            tuples += 1
-    txn.commit()
+    with db.begin() as txn:
+        for old, info in manifest.items():
+            impl = info["impl"]
+            if impl == "ufile":
+                designator = db.lo.create_ufile(old)
+            elif impl == "pfile":
+                designator = db.lo.newfilename(txn)
+            else:
+                designator = db.lo.create(txn, impl,
+                                          compression=info["compression"])
+            with open(os.path.join(source_dir, "objects", info["file"]),
+                      "rb") as fh:
+                data = fh.read()
+            with db.lo.open(designator, txn, "rw") as obj:
+                obj.write(data)
+            new_designators[old] = designator
+
+        with open(os.path.join(source_dir, "data.jsonl")) as fh:
+            for line in fh:
+                record = json.loads(line)
+                values = [_decode_value(v) for v in record["values"]]
+                for position in large_columns[record["class"]]:
+                    if values[position]:
+                        values[position] = new_designators[values[position]]
+                db.insert(txn, record["class"], tuple(values))
+                tuples += 1
     return {"classes": len(schema["classes"]), "tuples": tuples,
             "objects": len(new_designators)}

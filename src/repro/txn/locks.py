@@ -191,6 +191,9 @@ class LockManager:
                 f"this same thread controls and could never release while "
                 f"parked (self-deadlock)")
         self.stats.waits += 1
+        # repro: allow(R004): lock waits block real threads, and the
+        # simulated clock does not advance while a thread sleeps —
+        # wait timeouts must measure real elapsed (monotonic) time.
         started = time.monotonic()
         # One new wait edge can close several cycles; victimize one
         # transaction per cycle until none remains through us.  Each pass
@@ -203,10 +206,12 @@ class LockManager:
                 if timeout is None:
                     self._cond.wait()
                     continue
-                remaining = timeout - (time.monotonic() - started)
+                waited = time.monotonic() - started  # repro: allow(R004): see above
+                remaining = timeout - waited
                 if remaining <= 0 or not self._cond.wait(remaining):
                     break
         finally:
+            # repro: allow(R004): real blocked-thread time, see above.
             self.stats.wait_time += time.monotonic() - started
             if not waiter.granted:
                 self._remove_waiter(waiter)

@@ -65,6 +65,10 @@ class CommitLog:
         if path is not None:
             self._replay()
             self._next_xid = max(self._next_xid, self._reserved_until)
+            # repro: allow(R003): pg_log is the durability root — the
+            # commit record must hit the platter before smgr-cached data
+            # counts, so it bypasses the switch by design (fault
+            # injection hooks it via set_fault_plan instead).
             self._handle = open(path, "ab")
 
     def set_fault_plan(self, plan) -> None:
@@ -76,6 +80,7 @@ class CommitLog:
     def _replay(self) -> None:
         if not os.path.exists(self.path):
             return
+        # repro: allow(R003): replaying the raw pg_log file (see above).
         with open(self.path, "rb") as fh:
             data = fh.read()
         usable = len(data) - (len(data) % _RECORD.size)  # drop torn tail

@@ -6,7 +6,6 @@ from repro.errors import BufferError_, ChecksumError
 from repro.sim import SimClock
 from repro.smgr import MemoryStorageManager
 from repro.storage import BufferManager
-from repro.storage.constants import PAGE_SIZE
 
 
 @pytest.fixture

@@ -34,7 +34,7 @@ from repro.errors import (
 from repro.lo.manager import designator_oid
 from repro.sim.clock import SimClock
 from repro.sim.devices import CpuModel
-from repro.sim.faults import FaultPlan, FaultRule, parse_plan
+from repro.sim.faults import parse_plan
 from repro.smgr.faulty import FaultInjector
 from repro.smgr.memory import MemoryStorageManager
 from repro.storage.buffer import _MISS_INSTRUCTIONS, BufferManager

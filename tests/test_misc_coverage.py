@@ -161,7 +161,7 @@ class TestManagerEdges:
 
 class TestWormStats:
     def test_platter_switch_accounting(self):
-        from repro.sim import SimClock, jukebox_device
+        from repro.sim import SimClock
         from repro.smgr import WormStorageManager
         from repro.sim.devices import DeviceModel
         tiny_platters = DeviceModel(

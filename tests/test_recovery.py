@@ -6,7 +6,6 @@ forced) or it never happened.  These tests simulate crashes by abandoning
 a Database object at various points and reopening the directory.
 """
 
-import pytest
 
 from repro.db import Database
 

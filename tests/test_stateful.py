@@ -5,7 +5,6 @@ file system and a large object, checking after every step that the system
 agrees with a trivially-correct in-memory model.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
