@@ -41,6 +41,7 @@ from __future__ import annotations
 import bisect
 import struct
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Callable, Iterator
 
 from repro.errors import RelationError
@@ -162,14 +163,14 @@ class BTree:
         parts = [_NODE_HEADER.pack(1 if node.is_leaf else 0, 0,
                                    nkeys, node.right)]
         if nkeys:
-            flat_keys = [component for key in node.keys
-                         for component in key]
-            parts.append(struct.pack(f"<{nkeys * arity}q", *flat_keys))
+            # chain.from_iterable flattens at C speed; a node is
+            # re-serialized on every insert, so this is hot.
+            parts.append(struct.pack(
+                f"<{nkeys * arity}q", *chain.from_iterable(node.keys)))
         if node.is_leaf:
             if node.values:
-                flat = [component for value in node.values
-                        for component in value]
-                parts.append(struct.pack(f"<{2 * nkeys}q", *flat))
+                parts.append(struct.pack(
+                    f"<{2 * nkeys}q", *chain.from_iterable(node.values)))
         else:
             # Internal nodes have nkeys + 1 children.
             children = [child for child, _ in node.values]
@@ -269,23 +270,72 @@ class BTree:
     def _insert_into(self, blockno: int, key: Key,
                      value: Value) -> tuple[Key, int] | None:
         """Recursive insert; returns (separator, new right block) on split."""
-        node = self._read_node(blockno, mutable=True)
+        # Read shared (cached) nodes and copy only when a mutation is
+        # actually needed: the common cases — a leaf append, an internal
+        # node whose child did not split — never touch the node's lists.
+        node = self._read_node(blockno)
         if node.is_leaf:
-            pos = bisect.bisect_right(node.keys, key)
-            node.keys.insert(pos, key)
-            node.values.insert(pos, value)
+            if not node.keys or key >= node.keys[-1]:
+                # Sequential loads (f-chunk/v-segment writers emit
+                # monotonically increasing keys) hit this on nearly
+                # every insert; splicing beats re-flattening the leaf.
+                # (key >= last matches bisect_right: equals land at the
+                # end.)
+                node = _Node(is_leaf=True, keys=node.keys + [key],
+                             values=node.values + [value], right=node.right)
+                if node.entry_bytes(self.key_arity) <= self._node_limit:
+                    self._append_leaf_store(blockno, node)
+                    return None
+            else:
+                node = node.copy()
+                pos = bisect.bisect_right(node.keys, key)
+                node.keys.insert(pos, key)
+                node.values.insert(pos, value)
         else:
             child_idx = self._descend_index(node, key)
             split = self._insert_into(node.values[child_idx][0], key, value)
             if split is None:
                 return None
             sep_key, right_block = split
+            node = node.copy()
             node.keys.insert(child_idx, sep_key)
             node.values.insert(child_idx + 1, (right_block, 0))
         if node.entry_bytes(self.key_arity) <= self._node_limit:
             self._store_node(blockno, node)
             return None
         return self._split(blockno, node)
+
+    def _append_leaf_store(self, blockno: int, node: _Node) -> None:
+        """Store a leaf whose only change is one entry appended at the end.
+
+        Produces bytes identical to :meth:`_write_node` for the same
+        node, but builds the image by splicing the page's current image
+        (old keys and values are already packed there) instead of
+        re-flattening every tuple — the same page pin, the same
+        ``overwrite_item``, an order of magnitude less Python per call.
+        *node* must be a fresh object (not the cached one): it is handed
+        to the decoded-node cache without a defensive copy.
+        """
+        arity = self.key_arity
+        key = node.keys[-1]
+        value = node.values[-1]
+        nkeys = len(node.keys)          # includes the appended entry
+        old = nkeys - 1
+        koff = _NODE_HEADER.size
+        voff = koff + old * arity * 8
+        with self.bufmgr.page(self.smgr, self.fileid, blockno,
+                              write=True) as page:
+            image = page.item_view(0)
+            new_image = b"".join((
+                _NODE_HEADER.pack(1, 0, nkeys, node.right),
+                image[koff:voff],
+                struct.pack(f"<{arity}q", *key),
+                image[voff:voff + 16 * old],
+                struct.pack("<2q", *value),
+            ))
+            page.overwrite_item(0, new_image)
+        # Write-through: the cache always mirrors the page just written.
+        self.bufmgr.put_decoded(self.smgr, self.fileid, blockno, node)
 
     @staticmethod
     def _descend_index(node: _Node, key: Key) -> int:

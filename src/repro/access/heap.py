@@ -22,11 +22,12 @@ from typing import Callable, Iterator
 from repro.access.schema import Schema
 from repro.access.tuples import (
     TID,
+    XMAX_OFFSET,
     HeapTuple,
     deserialize_tuple,
     read_stamps,
     serialize_tuple,
-    stamp_xmax,
+    xmax_patch,
 )
 from repro.errors import RelationError, TransactionError, TupleNotFound
 from repro.smgr.base import StorageManager
@@ -119,6 +120,14 @@ class HeapRelation:
         if target is None:
             nblocks = self.nblocks()
             target = nblocks - 1 if nblocks else None
+            if (target is not None and self.bufmgr.cpu is None
+                    and self.fsm.known_insufficient(target, len(image))):
+                # Wall-clock mode only (model fidelity: the probe is a
+                # charged pin in sim mode): the tail page's hint was
+                # refreshed by the last placement and says no room, so
+                # go straight to a fresh page.  Bulk loads (one 8000 B
+                # chunk per page) pay this dead probe on every insert.
+                target = None
         if target is not None:
             buf = self.bufmgr.pin(self.smgr, self.fileid, target)
             try:
@@ -182,19 +191,27 @@ class HeapRelation:
         """The tuple at *tid* regardless of visibility."""
         with self.bufmgr.page(self.smgr, self.fileid, tid.blockno) as page:
             try:
-                image = page.get_item(tid.slot)
+                view = page.item_view(tid.slot)
             except Exception as exc:
                 raise TupleNotFound(
                     f"no tuple at {tid} in {self.name!r}") from exc
-        return deserialize_tuple(self.schema, image, tid)
+            # Decode while the page is pinned: the view aliases the pool,
+            # the decoded values do not.
+            return deserialize_tuple(self.schema, view, tid)
 
     def fetch(self, tid: TID, snapshot: Snapshot) -> HeapTuple | None:
         """The tuple at *tid* if visible to *snapshot*, else ``None``."""
         self._assert_latched("fetch")
-        tup = self.fetch_any_version(tid)
-        if snapshot.is_visible(tup.xmin, tup.xmax, self.clog):
-            return tup
-        return None
+        with self.bufmgr.page(self.smgr, self.fileid, tid.blockno) as page:
+            try:
+                view = page.item_view(tid.slot)
+            except Exception as exc:
+                raise TupleNotFound(
+                    f"no tuple at {tid} in {self.name!r}") from exc
+            xmin, xmax, _oid = read_stamps(view)
+            if not snapshot.is_visible(xmin, xmax, self.clog):
+                return None
+            return deserialize_tuple(self.schema, view, tid)
 
     # -- batched reads -----------------------------------------------------------------
 
@@ -222,16 +239,50 @@ class HeapRelation:
             run_start = previous = blockno
         return fetched
 
-    def fetch_many(self, tids, snapshot: Snapshot) -> list[HeapTuple]:
-        """Visible tuples among *tids*, in input order, with readahead."""
+    def fetch_many(self, tids, snapshot: Snapshot,
+                   prefetch: bool = True) -> list[HeapTuple]:
+        """Visible tuples among *tids*, in input order, with readahead.
+
+        Consecutive TIDs on the same block share one pin: the page is
+        pinned when the run starts and each further tuple only pays
+        :meth:`~repro.storage.buffer.BufferManager.rehit` bookkeeping
+        (identical simulated cost to pinning again).  Tuple images are
+        read as zero-copy views and only visible ones are decoded.
+        ``prefetch=False`` skips the readahead pass when the caller
+        already issued it for these TIDs.
+        """
         self._assert_latched("fetch_many")
         tids = list(tids)
-        self.prefetch_tids(tids)
+        if prefetch:
+            self.prefetch_tids(tids)
         out = []
-        for tid in tids:
-            tup = self.fetch(tid, snapshot)
-            if tup is not None:
-                out.append(tup)
+        bufmgr = self.bufmgr
+        is_visible = snapshot.is_visible
+        clog = self.clog
+        schema = self.schema
+        buf = None
+        cur_block = None
+        try:
+            for tid in tids:
+                if tid.blockno != cur_block:
+                    if buf is not None:
+                        bufmgr.unpin(buf)
+                        buf = None
+                    buf = bufmgr.pin(self.smgr, self.fileid, tid.blockno)
+                    cur_block = tid.blockno
+                else:
+                    bufmgr.rehit(buf)
+                try:
+                    view = buf.page.item_view(tid.slot)
+                except Exception as exc:
+                    raise TupleNotFound(
+                        f"no tuple at {tid} in {self.name!r}") from exc
+                xmin, xmax, _oid = read_stamps(view)
+                if is_visible(xmin, xmax, clog):
+                    out.append(deserialize_tuple(schema, view, tid))
+        finally:
+            if buf is not None:
+                bufmgr.unpin(buf)
         return out
 
     # -- delete / replace ------------------------------------------------------------------
@@ -247,17 +298,20 @@ class HeapRelation:
         buf = self.bufmgr.pin(self.smgr, self.fileid, tid.blockno)
         try:
             try:
-                image = page_image = buf.page.get_item(tid.slot)
+                view = buf.page.item_view(tid.slot)
             except Exception as exc:
                 raise TupleNotFound(
                     f"no tuple at {tid} in {self.name!r}") from exc
-            _xmin, xmax, _oid = read_stamps(page_image)
+            _xmin, xmax, _oid = read_stamps(view)
             if xmax != INVALID_XID and xmax != txn.xid:
                 if self.clog.status(xmax) != TxnStatus.ABORTED:
                     raise TransactionError(
                         f"tuple {tid} in {self.name!r} already deleted "
                         f"by transaction {xmax}")
-            buf.page.overwrite_item(tid.slot, stamp_xmax(image, txn.xid))
+            view.release()
+            # Stamp the 8-byte xmax field in place — no image copy; the
+            # rest of the version is immutable by the no-overwrite rule.
+            buf.page.patch_item(tid.slot, XMAX_OFFSET, xmax_patch(txn.xid))
         finally:
             self.bufmgr.unpin(buf, dirty=True)
         txn.touch(self.smgr, self.fileid)
@@ -287,11 +341,12 @@ class HeapRelation:
                 self.bufmgr.prefetch(self.smgr, self.fileid, blockno,
                                      SCAN_PREFETCH_BLOCKS)
             with self.bufmgr.page(self.smgr, self.fileid, blockno) as page:
-                slots = page.live_slots()
-                images = [(s, page.get_item(s)) for s in slots]
-            for slot, image in images:
-                yield deserialize_tuple(self.schema, image,
-                                        TID(blockno, slot))
+                # Decode from views while pinned; yield after the pin is
+                # dropped so consumers never run with a page held.
+                tuples = [deserialize_tuple(self.schema, page.item_view(s),
+                                            TID(blockno, s))
+                          for s in page.live_slots()]
+            yield from tuples
 
     # -- vacuum ------------------------------------------------------------------------------
 
@@ -317,12 +372,13 @@ class HeapRelation:
             try:
                 dirty = False
                 for slot in buf.page.live_slots():
-                    image = buf.page.get_item(slot)
-                    xmin, xmax, _oid = read_stamps(image)
+                    view = buf.page.item_view(slot)
+                    xmin, xmax, _oid = read_stamps(view)
                     if self._is_dead(xmin, xmax, horizon):
                         if removed_sink is not None:
                             removed_sink.append(deserialize_tuple(
-                                self.schema, image, TID(blockno, slot)))
+                                self.schema, view, TID(blockno, slot)))
+                        view.release()
                         buf.page.delete_item(slot)
                         removed += 1
                         dirty = True
@@ -331,6 +387,10 @@ class HeapRelation:
                     self.fsm.record(blockno, buf.page.free_space())
             finally:
                 self.bufmgr.unpin(buf, dirty=dirty)
+        if removed:
+            # Pruning frees slots without any transaction changing fate;
+            # epoch-keyed TID memos must not survive it.
+            self.clog.bump_visibility_epoch()
         return removed
 
     def _is_dead(self, xmin: int, xmax: int, horizon: float | None) -> bool:

@@ -251,11 +251,16 @@ class IndexRangeScan:
                      if wanted is None or key in wanted]
             if self.relation.prefetch_tids(tid for _key, tid in pairs):
                 stats.prefetch_batches += 1
-            for key, tid in pairs:
-                stats.tuples_scanned += 1
-                tup = self.relation.fetch(tid, snapshot)
-                if tup is None:
-                    continue
+            stats.tuples_scanned += len(pairs)
+            # One batched heap fetch for the whole entry list: the heap
+            # layer shares pins across same-block runs and decodes only
+            # visible tuples; results come back in input (index-key)
+            # order with their TIDs stamped.
+            key_by_tid = {tid: key for key, tid in pairs}
+            for tup in self.relation.fetch_many(
+                    [tid for _key, tid in pairs], snapshot,
+                    prefetch=False):
+                key = key_by_tid[tup.tid]
                 counts[key] = counts.get(key, 0) + 1
                 out.append((key, tup))
             stats.tuples_visible += len(out)

@@ -78,10 +78,12 @@ _register(TypeCodec("float8", lambda v: _F64.pack(float(v)),
                     lambda b: _F64.unpack(b)[0], (int, float)))
 _register(TypeCodec("bool", lambda v: b"\x01" if v else b"\x00",
                     lambda b: b == b"\x01", (bool,)))
+# str(b, "utf-8") decodes bytes and memoryview alike; bytes.decode would
+# reject the zero-copy views the page layer hands out.
 _register(TypeCodec("text", _encode_text,
-                    lambda b: b.decode("utf-8"), (str,)))
+                    lambda b: str(b, "utf-8"), (str,)))
 _register(TypeCodec("name", _encode_text,
-                    lambda b: b.decode("utf-8"), (str,)))
+                    lambda b: str(b, "utf-8"), (str,)))
 _register(TypeCodec("bytea", bytes,
                     bytes, (bytes, bytearray, memoryview)))
 
@@ -123,6 +125,7 @@ class Schema:
     _LEN = struct.Struct("<I")
     _NATTS = struct.Struct("<H")
     _NULL = 0xFFFFFFFF
+    _NULL_LEN = _LEN.pack(_NULL)
 
     def __init__(self, attributes: list[Attribute]):
         if not attributes:
@@ -132,6 +135,17 @@ class Schema:
             raise SchemaError(f"duplicate attribute names in {names}")
         self.attributes = list(attributes)
         self._index = {attr.name: i for i, attr in enumerate(attributes)}
+        # Resolve each attribute's codec once.  A None entry means the
+        # type isn't a known scalar *yet* (large ADTs may register their
+        # storage mapping after the schema is built) — those fall back to
+        # the per-call lookup, preserving the original late-binding error.
+        self._codecs: list[TypeCodec | None] = []
+        for attr in self.attributes:
+            try:
+                self._codecs.append(
+                    scalar_codec(attr.storage_type or attr.type_name))
+            except SchemaError:
+                self._codecs.append(None)
 
     def __len__(self) -> int:
         return len(self.attributes)
@@ -162,43 +176,78 @@ class Schema:
                 f"record has {len(values)} values for "
                 f"{len(self.attributes)} attributes")
         parts = [self._NATTS.pack(len(values))]
-        for attr, value in zip(self.attributes, values):
+        pack_len = self._LEN.pack
+        for attr, codec, value in zip(self.attributes, self._codecs,
+                                      values):
             if value is None:
-                parts.append(self._LEN.pack(self._NULL))
+                parts.append(self._NULL_LEN)
                 continue
-            codec = attr.codec()
+            if codec is None:
+                codec = attr.codec()
             codec.check(value)
             payload = codec.encode(value)
             if len(payload) >= self._NULL:
                 raise SchemaError(
                     f"attribute {attr.name!r} value too large "
                     f"({len(payload)} bytes)")
-            parts.append(self._LEN.pack(len(payload)))
+            parts.append(pack_len(len(payload)))
             parts.append(payload)
         return b"".join(parts)
 
-    def decode(self, data: bytes) -> tuple:
-        """Deserialize one record produced by :meth:`encode`."""
+    def encode_many(self, records: list[tuple]) -> list[bytes]:
+        """Serialize a batch of records (one image per record).
+
+        Equivalent to ``[self.encode(r) for r in records]`` — one call into
+        the codec layer per batch instead of per record.
+        """
+        encode = self.encode
+        return [encode(record) for record in records]
+
+    def decode(self, data) -> tuple:
+        """Deserialize one record produced by :meth:`encode`.
+
+        Accepts ``bytes``, ``bytearray``, or a ``memoryview`` into a page
+        buffer — the zero-copy read path decodes straight from the pool.
+        Variable-length values (text, bytea) are materialized as owned
+        objects, so the returned tuple never aliases the page.
+        """
         (natts,) = self._NATTS.unpack_from(data, 0)
-        if natts != len(self.attributes):
+        attributes = self.attributes
+        if natts != len(attributes):
             raise SchemaError(
                 f"record has {natts} attributes, schema has "
-                f"{len(self.attributes)}")
+                f"{len(attributes)}")
         pos = self._NATTS.size
+        unpack_len = self._LEN.unpack_from
+        null = self._NULL
         values = []
-        for attr in self.attributes:
-            (length,) = self._LEN.unpack_from(data, pos)
-            pos += self._LEN.size
-            if length == self._NULL:
-                values.append(None)
+        append = values.append
+        data_len = len(data)
+        for i, codec in enumerate(self._codecs):
+            (length,) = unpack_len(data, pos)
+            pos += 4
+            if length == null:
+                append(None)
                 continue
-            payload = data[pos:pos + length]
-            if len(payload) != length:
+            end = pos + length
+            if end > data_len:
                 raise SchemaError(
-                    f"truncated record while decoding {attr.name!r}")
-            values.append(attr.codec().decode(payload))
-            pos += length
+                    f"truncated record while decoding "
+                    f"{attributes[i].name!r}")
+            if codec is None:
+                codec = attributes[i].codec()
+            append(codec.decode(data[pos:end]))
+            pos = end
         return tuple(values)
+
+    def decode_many(self, images: list) -> list[tuple]:
+        """Deserialize a batch of record images.
+
+        Equivalent to ``[self.decode(img) for img in images]``; images may
+        be bytes or memoryviews (see :meth:`decode`).
+        """
+        decode = self.decode
+        return [decode(image) for image in images]
 
     # -- catalog persistence -----------------------------------------------------
 

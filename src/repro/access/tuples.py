@@ -28,6 +28,11 @@ from repro.storage.constants import INVALID_XID, TUPLE_HEADER_SIZE
 _HEADER = struct.Struct("<QQQII")
 assert _HEADER.size == TUPLE_HEADER_SIZE
 
+#: ``xmax`` is the second u64 of the header — the one field the
+#: no-overwrite system ever rewrites on a stored image.
+_XMAX = struct.Struct("<Q")
+XMAX_OFFSET = 8
+
 
 @dataclass(frozen=True, order=True)
 class TID:
@@ -68,9 +73,14 @@ def serialize_tuple(schema: Schema, xmin: int, oid: int,
     return header + record
 
 
-def deserialize_tuple(schema: Schema, data: bytes,
+def deserialize_tuple(schema: Schema, data,
                       tid: TID | None = None) -> HeapTuple:
-    """Decode an on-page tuple image."""
+    """Decode an on-page tuple image.
+
+    *data* may be ``bytes`` or a ``memoryview`` into a page buffer; the
+    record body is decoded without copying it first (the decoded values
+    own their storage, so the result never aliases the page).
+    """
     if len(data) < TUPLE_HEADER_SIZE:
         raise SchemaError(
             f"tuple image of {len(data)} bytes is shorter than the header")
@@ -78,14 +88,28 @@ def deserialize_tuple(schema: Schema, data: bytes,
     if natts != len(schema):
         raise SchemaError(
             f"tuple has {natts} attributes, schema expects {len(schema)}")
+    if not isinstance(data, memoryview):
+        data = memoryview(data)
     values = schema.decode(data[TUPLE_HEADER_SIZE:])
     return HeapTuple(xmin=xmin, xmax=xmax, oid=oid, values=values, tid=tid)
 
 
-def read_stamps(data: bytes) -> tuple[int, int, int]:
-    """Fast path: (xmin, xmax, oid) without decoding the record body."""
+def read_stamps(data) -> tuple[int, int, int]:
+    """Fast path: (xmin, xmax, oid) without decoding the record body.
+
+    Works on ``bytes`` or a ``memoryview`` of the on-page image.
+    """
     xmin, xmax, oid, _flags, _natts = _HEADER.unpack_from(data, 0)
     return xmin, xmax, oid
+
+
+def xmax_patch(xmax: int) -> bytes:
+    """The 8-byte header patch that stamps *xmax* on a stored image.
+
+    Written at :data:`XMAX_OFFSET` via ``SlottedPage.patch_item`` — the
+    in-place equivalent of :func:`stamp_xmax` without copying the image.
+    """
+    return _XMAX.pack(xmax)
 
 
 def stamp_xmax(data: bytes, xmax: int) -> bytes:

@@ -1,4 +1,4 @@
-"""The project-specific invariant rules (R001–R006).
+"""The project-specific invariant rules (R001–R007).
 
 Each rule encodes one discipline the engine's correctness rests on; the
 prose catalogue (with the reasoning and the suppression policy) is
@@ -404,3 +404,62 @@ class BareExceptRule(Rule):
                     module, node,
                     f"`except {type_name}: pass` swallows every failure — "
                     f"narrow the exception type or handle it")
+
+
+# -- R007: no bytes() copies of buffer slices on the hot path -----------------------
+
+
+@register
+class HotPathBytesCopyRule(Rule):
+    """``bytes(buf[a:b])`` is a copy; hot paths hand out memoryviews.
+
+    The zero-copy discipline (docs/performance.md): the slotted page and
+    the access layer expose buffer contents as memoryview slices of the
+    pinned frame, and the ONE sanctioned copying accessor is
+    ``SlottedPage.get_item``.  A ``bytes(...)`` call over a subscript
+    slice anywhere else in ``storage/page.py`` or ``access/`` is a
+    back-slide into per-item copies — take ``item_view`` (and copy at
+    the boundary if the bytes must outlive the pin), or annotate the
+    line with ``# repro: allow(R007): <why>`` if the copy is the point.
+
+    Heuristic: lexical only — flags ``bytes(<expr>[<slice>])`` calls;
+    copies of whole objects (``bytes(x)``) and constructor calls
+    (``bytes(n)``) are not flagged.
+    """
+
+    id = "R007"
+    name = "no-hot-path-bytes-copy"
+    summary = ("bytes() over a buffer slice in storage/page.py or access/ "
+               "copies on the hot path — use memoryviews (get_item is the "
+               "sanctioned accessor)")
+
+    PACKAGES = ("storage/page.py", "access/")
+    SANCTIONED = frozenset({"get_item"})
+
+    def _sanctioned_spans(self, module: ModuleInfo) -> list[tuple[int, int]]:
+        spans = []
+        for node in ast.walk(module.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in self.SANCTIONED):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*self.PACKAGES):
+            return
+        spans = self._sanctioned_spans(module)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "bytes"
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Subscript)
+                    and isinstance(node.args[0].slice, ast.Slice)):
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in spans):
+                continue
+            yield self.finding(
+                module, node,
+                "bytes() over a buffer slice copies on the hot path — "
+                "return a memoryview (page.item_view) and copy only at "
+                "the boundary (page.get_item is the sanctioned accessor)")

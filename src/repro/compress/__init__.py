@@ -22,6 +22,7 @@ from repro.compress.base import (
     register_compressor,
 )
 from repro.compress.costed import CostedCompressor
+from repro.compress.fast import FastCompressor, lz4_available
 from repro.compress.null import NullCompressor
 from repro.compress.rle import ByteRunCompressor, ZeroRunCompressor
 from repro.compress.lzrw import ZlibCompressor
@@ -32,6 +33,8 @@ __all__ = [
     "ZeroRunCompressor",
     "ByteRunCompressor",
     "ZlibCompressor",
+    "FastCompressor",
+    "lz4_available",
     "CostedCompressor",
     "register_compressor",
     "get_compressor",

@@ -33,10 +33,15 @@ class CostedCompressor(Compressor):
         self.bytes_decompressed = 0
 
     def compress(self, data: bytes) -> bytes:
+        # Delegate BEFORE charging: if the inner compressor raises, no
+        # cost may stick — a caller retrying after the failure would be
+        # billed twice for one unit of work.  (The charge amount does not
+        # depend on ordering, so successful calls are priced the same.)
+        image = self.inner.compress(data)
         self.bytes_compressed += len(data)
         self.cpu.charge(self.clock,
                         self.instructions_per_byte * len(data))
-        return self.inner.compress(data)
+        return image
 
     def decompress(self, data: bytes) -> bytes:
         out = self.inner.decompress(data)

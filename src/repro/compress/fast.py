@@ -1,0 +1,87 @@
+"""The "cheap and cheerful" end of the compression spectrum.
+
+The paper's §9.2 trade-off — instructions per byte vs I/O saved — only
+bites if the registry actually offers points along the curve.  This
+module contributes the fast end:
+
+* ``lz4`` — LZ4 block compression when the :mod:`lz4` package is
+  importable, else DEFLATE at level 1 behind the same self-describing
+  image format.  Callers never see the difference: images carry a
+  method byte, so an image written with real LZ4 is rejected loudly
+  (not mis-decoded) on a host without the codec, and vice versa.
+* ``zlib-fast`` / ``zlib-best`` — the existing DEFLATE compressor at
+  levels 1 and 9, exposing the level knob through the registry.
+
+Nothing here installs anything: the lz4 import is attempted once at
+module load and the result gates which backend the ``lz4`` name maps to.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compress.base import Compressor, register_compressor
+from repro.compress.lzrw import ZlibCompressor
+from repro.errors import CompressionError
+
+try:  # pragma: no cover - which branch runs depends on the host
+    import lz4.block as _lz4block
+except ImportError:
+    _lz4block = None
+
+#: Method bytes for the self-describing image format (shared namespace
+#: with :mod:`repro.compress.lzrw`: 0x00 raw, 0x02 deflate).
+_RAW = 0x00
+_LZ4 = 0x03
+_DEFLATE1 = 0x04
+
+
+def lz4_available() -> bool:
+    """Whether the real LZ4 codec backs the ``lz4`` registry name."""
+    return _lz4block is not None
+
+
+class FastCompressor(Compressor):
+    """LZ4 when available, DEFLATE level 1 otherwise — with raw fallback."""
+
+    name = "lz4"
+
+    def compress(self, data: bytes) -> bytes:
+        data = bytes(data)
+        if _lz4block is not None:
+            packed = _lz4block.compress(data, store_size=True)
+            method = _LZ4
+        else:
+            packed = zlib.compress(data, 1)
+            method = _DEFLATE1
+        if len(packed) >= len(data):
+            return bytes([_RAW]) + data
+        return bytes([method]) + packed
+
+    def decompress(self, data: bytes) -> bytes:
+        if not data:
+            raise CompressionError("empty lz4 image")
+        method = data[0]
+        payload = bytes(data[1:])
+        if method == _RAW:
+            return payload
+        if method == _LZ4:
+            if _lz4block is None:
+                raise CompressionError(
+                    "image was written with the lz4 codec, which is not "
+                    "available on this host")
+            try:
+                return _lz4block.decompress(payload)
+            except Exception as exc:
+                raise CompressionError(f"corrupt lz4 image: {exc}") from exc
+        if method == _DEFLATE1:
+            try:
+                return zlib.decompress(payload)
+            except zlib.error as exc:
+                raise CompressionError(f"corrupt lz4 image: {exc}") from exc
+        raise CompressionError(f"bad lz4 method byte {method:#x}")
+
+
+register_compressor("lz4", FastCompressor)
+register_compressor("zlib-fast", lambda: ZlibCompressor(level=1))
+register_compressor("zlib-best", lambda: ZlibCompressor(level=9))

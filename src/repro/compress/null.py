@@ -11,9 +11,16 @@ class NullCompressor(Compressor):
     name = "none"
 
     def compress(self, data: bytes) -> bytes:
+        # Hand exact bytes through untouched (guaranteed no-copy, not
+        # just the CPython bytes(b)-is-b behaviour); views/bytearrays
+        # still materialize.
+        if type(data) is bytes:
+            return data
         return bytes(data)
 
     def decompress(self, data: bytes) -> bytes:
+        if type(data) is bytes:
+            return data
         return bytes(data)
 
 

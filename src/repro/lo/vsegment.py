@@ -25,6 +25,7 @@ segments are merged read-modify-write style.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -92,6 +93,18 @@ class VSegmentObject(LargeObject):
         # SEGMENT_CACHE_ENTRIES for why TID keys are safe).
         self._segment_cache: OrderedDict[TID, bytes] = OrderedDict()
         self._cache_stats = db.lo.cache_stats
+        # Model-fidelity gate (same rule as f-chunk): segment-map and
+        # size memos skip index scans the cost model charges for, so
+        # they engage only in wall-clock mode and only for descriptors
+        # outside a transaction (the visibility epoch cannot witness a
+        # transaction's own writes).
+        self._fast = db.bufmgr.cpu is None
+        self._size_cache: tuple[int, int] | None = None
+        #: (epoch, records sorted by locn, their locns) — the whole
+        #: visible segment map, fetched with one range scan and then
+        #: answered with bisect until something commits.
+        self._segmap_cache: tuple[int, list[HeapTuple],
+                                  list[int]] | None = None
         if writable:
             self._pending_size = metadata.read_size(
                 db, oid, self._snapshot())
@@ -105,6 +118,14 @@ class VSegmentObject(LargeObject):
     def _size(self) -> int:
         if self._pending_size is not None:
             return self._pending_size
+        if self._fast and self.txn is None:
+            epoch = self.db.clog.visibility_epoch
+            cached = self._size_cache
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+            size = metadata.read_size(self.db, self.oid, self._snapshot())
+            self._size_cache = (epoch, size)
+            return size
         return metadata.read_size(self.db, self.oid, self._snapshot())
 
     def flush(self) -> None:
@@ -130,8 +151,19 @@ class VSegmentObject(LargeObject):
             f"segment {key[0]} (snapshot anomaly)")
 
     def _segments_overlapping(self, start: int, end: int,
-                              snapshot: Snapshot) -> list[HeapTuple]:
+                              snapshot: Snapshot | None = None
+                              ) -> list[HeapTuple]:
         """Visible segment records intersecting ``[start, end)``, sorted."""
+        if self._fast and self.txn is None:
+            records, locns = self._segment_map()
+            # Segments never exceed SEGMENT_MAX, so an overlapping one
+            # starts at locn in [start - SEGMENT_MAX, end).
+            i = bisect_left(locns, start - SEGMENT_MAX)
+            j = bisect_left(locns, end)
+            return [t for t in records[i:j]
+                    if t.values[0] + t.values[1] > start]
+        if snapshot is None:
+            snapshot = self._snapshot()
         lo_key = max(0, start - SEGMENT_MAX)
         scan = IndexRangeScan(self.db, self.index, self.relation,
                               (lo_key,), (end - 1,),
@@ -141,6 +173,27 @@ class VSegmentObject(LargeObject):
                  and tup.values[0] < end]
         found.sort(key=lambda t: t.values[0])
         return found
+
+    def _segment_map(self) -> tuple[list[HeapTuple], list[int]]:
+        """The whole visible segment map, epoch-cached (fast mode only).
+
+        One range scan over the entire index replaces one scan per read;
+        the memo stays valid until any transaction commits or aborts
+        (the epoch token), at which point it is rebuilt.  Only read-only
+        descriptors outside a transaction qualify — see ``_fast``.
+        """
+        epoch = self.db.clog.visibility_epoch
+        cached = self._segmap_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1], cached[2]
+        scan = IndexRangeScan(self.db, self.index, self.relation,
+                              None, None,
+                              unique=True, anomaly=self._segment_anomaly)
+        records = [tup for _key, tup in scan.visible(self._snapshot())]
+        records.sort(key=lambda t: t.values[0])
+        locns = [t.values[0] for t in records]
+        self._segmap_cache = (epoch, records, locns)
+        return records, locns
 
     def _segment_bytes(self, record: HeapTuple) -> bytes:
         """Decompressed contents of one segment (LRU-cached)."""
@@ -166,13 +219,20 @@ class VSegmentObject(LargeObject):
     # -- reads ---------------------------------------------------------------------------
 
     def _read_at(self, offset: int, nbytes: int) -> bytes:
-        snapshot = self._snapshot()
         size = self._size()
         if offset >= size or nbytes <= 0:
             return b""
         end = min(offset + nbytes, size)
+        records = self._segments_overlapping(offset, end)
+        if len(records) == 1:
+            # Fast path: one segment fully covers the window — slice it
+            # directly instead of splicing through a zero-filled buffer.
+            locn, length, _clen, _ptr = records[0].values
+            if locn <= offset and locn + length >= end:
+                data = self._segment_bytes(records[0])
+                return data[offset - locn:end - locn]
         out = bytearray(end - offset)  # holes read as zeros
-        for record in self._segments_overlapping(offset, end, snapshot):
+        for record in records:
             locn, length, _clen, _ptr = record.values
             data = self._segment_bytes(record)
             lo = max(offset, locn)
@@ -184,7 +244,6 @@ class VSegmentObject(LargeObject):
 
     def _write_at(self, offset: int, data: bytes) -> None:
         self.txn.require_active()
-        snapshot = self._snapshot()
         size = self._size()
         if offset > size:
             # Zero-fill the gap so the object is dense.
@@ -192,7 +251,13 @@ class VSegmentObject(LargeObject):
             offset = size
         end = offset + len(data)
 
-        overlapped = self._segments_overlapping(offset, end, snapshot)
+        if self._fast and offset == size:
+            # Pure append: every stored segment lies inside [0, size),
+            # so the overlap scan cannot find anything — skip it.  Wall
+            # clock mode only: the scan is charged work in figure runs.
+            overlapped: list[HeapTuple] = []
+        else:
+            overlapped = self._segments_overlapping(offset, end)
         new_start = offset
         head = tail = b""
         if overlapped:
@@ -223,7 +288,6 @@ class VSegmentObject(LargeObject):
 
     def _truncate(self, size: int) -> None:
         self.txn.require_active()
-        snapshot = self._snapshot()
         current = self._size()
         if size >= current:
             self._pending_size = size  # sparse: reads zero-fill holes
@@ -231,7 +295,7 @@ class VSegmentObject(LargeObject):
         # Delete every segment record past the cut; re-append the trimmed
         # prefix of the boundary segment as a fresh segment.  The store
         # only grows, so history stays intact.
-        for record in self._segments_overlapping(size, current, snapshot):
+        for record in self._segments_overlapping(size, current):
             locn = record.values[0]
             keep = b""
             if locn < size:

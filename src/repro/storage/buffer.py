@@ -182,6 +182,28 @@ class BufferManager:
             self._install(buf)
             return buf
 
+    def rehit(self, buf: Buffer) -> Buffer:
+        """Account a repeated pin of a buffer the caller already holds.
+
+        Batched readers that keep one pin while consuming several tuples
+        from the same page call this once per extra tuple, performing
+        **exactly** the bookkeeping a redundant :meth:`pin` hit would have
+        done — same hit counter, same instruction charge, same usage bump
+        — minus the frame lookup and pin-count churn.  This is what keeps
+        the simulated cost figures byte-identical to the unbatched path.
+        """
+        with self._latch:
+            if buf.pin_count <= 0:
+                raise BufferError_(
+                    f"rehit of unpinned buffer {buf.fileid!r}:{buf.blockno}")
+            self.stats.hits += 1
+            if buf.prefetched:
+                self.stats.prefetch_hits += 1
+                buf.prefetched = False
+            self._charge(_HIT_INSTRUCTIONS)
+            buf.usage = min(buf.usage + 1, _MAX_USAGE)
+            return buf
+
     def prefetch(self, smgr: "StorageManager", fileid: str,
                  blockno: int, count: int) -> int:
         """Read up to *count* blocks starting at *blockno* into the pool.

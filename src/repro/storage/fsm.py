@@ -16,6 +16,13 @@ class FreeSpaceMap:
     def __init__(self) -> None:
         self._free: dict[int, int] = {}
         self._last_insert: int | None = None
+        #: Stale upper bound on ``max(self._free.values())``.  Sequential
+        #: bulk loads call :meth:`find` once per insert with a request no
+        #: page can satisfy; the watermark answers those in O(1) instead of
+        #: scanning every known page, and is recomputed lazily only when a
+        #: scan actually runs.  It never changes *which* page ``find``
+        #: returns — only whether the losing scan is skipped.
+        self._max_free = 0
 
     def record(self, blockno: int, free_bytes: int) -> None:
         """Remember that *blockno* has about *free_bytes* available."""
@@ -23,6 +30,8 @@ class FreeSpaceMap:
             self._free.pop(blockno, None)
         else:
             self._free[blockno] = free_bytes
+            if free_bytes > self._max_free:
+                self._max_free = free_bytes
 
     def note_insert_target(self, blockno: int) -> None:
         """Remember the page the relation last inserted into."""
@@ -41,10 +50,32 @@ class FreeSpaceMap:
         target = self._last_insert
         if target is not None and self._free.get(target, 0) >= needed:
             return target
-        candidates = [b for b, free in self._free.items() if free >= needed]
-        return min(candidates) if candidates else None
+        if needed > self._max_free:
+            return None
+        best = None
+        actual_max = 0
+        for blockno, free in self._free.items():
+            if free > actual_max:
+                actual_max = free
+            if free >= needed and (best is None or blockno < best):
+                best = blockno
+        self._max_free = actual_max  # tighten the stale bound for free
+        return best
+
+    def known_insufficient(self, blockno: int, needed: int) -> bool:
+        """True when the hints affirmatively say *blockno* cannot fit *needed*.
+
+        Only claims knowledge about the current insertion target — its
+        hint is refreshed on every placement, so it can only understate
+        free space (deletes free bytes without a ``record``).  Callers
+        may use this to skip a probe where a false "insufficient" merely
+        costs a fresh page, never correctness.
+        """
+        return (blockno == self._last_insert
+                and self._free.get(blockno, 0) < needed)
 
     def forget(self) -> None:
         """Drop all hints (after truncate or drop)."""
         self._free.clear()
         self._last_insert = None
+        self._max_free = 0

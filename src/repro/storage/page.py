@@ -17,6 +17,17 @@ behaviour heap relations need.
 
 The checksum covers the whole page except the checksum field itself and is
 verified by the buffer manager when a page is read from a device.
+
+Zero-copy discipline
+--------------------
+The read path hands out **memoryviews** into the page buffer
+(:meth:`SlottedPage.item_view`) so that decoding a tuple does not copy its
+image first.  A view aliases the live page: any mutation (``add_item``,
+``overwrite_item``, ``compact``) may rewrite the bytes under it.  The
+contract is therefore *views do not survive page modification* — callers
+that retain data past the current latched read use :meth:`get_item`, the
+one sanctioned ``bytes``-returning accessor (linter rule R007 enforces
+that no other hot-path code copies buffer slices).
 """
 
 from __future__ import annotations
@@ -31,6 +42,11 @@ from repro.storage.constants import ITEM_ID_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE
 # Header: lsn(8) checksum(4) flags(2) lower(2) upper(2) special(2) reserved(4)
 _HEADER = struct.Struct("<QIHHHH4x")
 assert _HEADER.size == PAGE_HEADER_SIZE
+
+# The (lower, upper, special) trio lives at byte 14 of the header; the hot
+# paths read it directly instead of unpacking the whole header.
+_LUS = struct.Struct("<HHH")
+_LUS_OFFSET = 14
 
 # Line pointer: offset(2), then length(14 bits) | state(2 bits)
 _ITEMID = struct.Struct("<HH")
@@ -67,6 +83,8 @@ class SlottedPage:
     than corrupting neighbours.
     """
 
+    __slots__ = ("buf", "_view")
+
     def __init__(self, buf: bytearray | None = None, special_size: int = 0):
         if buf is None:
             self.buf = bytearray(PAGE_SIZE)
@@ -79,6 +97,10 @@ class SlottedPage:
                 raise PageError(
                     f"page buffer is {len(buf)} bytes, expected {PAGE_SIZE}")
             self.buf = buf
+        #: One long-lived view over the buffer; zero-copy item reads are
+        #: slices of this (slicing a memoryview allocates only the small
+        #: view object, never the bytes).
+        self._view = memoryview(self.buf)
 
     # -- header access ----------------------------------------------------
 
@@ -101,19 +123,19 @@ class SlottedPage:
 
     @property
     def lower(self) -> int:
-        return self._read_header()[3]
+        return _LUS.unpack_from(self.buf, _LUS_OFFSET)[0]
 
     @property
     def upper(self) -> int:
-        return self._read_header()[4]
+        return _LUS.unpack_from(self.buf, _LUS_OFFSET)[1]
 
     @property
     def special_offset(self) -> int:
-        return self._read_header()[5]
+        return _LUS.unpack_from(self.buf, _LUS_OFFSET)[2]
 
     def special_space(self) -> memoryview:
         """The index-private region at the end of the page (mutable)."""
-        return memoryview(self.buf)[self.special_offset:]
+        return self._view[self.special_offset:]
 
     # -- line pointers ----------------------------------------------------
 
@@ -146,7 +168,8 @@ class SlottedPage:
 
     def free_space(self) -> int:
         """Contiguous bytes available for a new item plus its line pointer."""
-        gap = self.upper - self.lower
+        lower, upper, _special = _LUS.unpack_from(self.buf, _LUS_OFFSET)
+        gap = upper - lower
         return max(0, gap - ITEM_ID_SIZE)
 
     def can_fit(self, length: int) -> bool:
@@ -154,13 +177,21 @@ class SlottedPage:
         counting space that a compaction would reclaim."""
         if length <= self.free_space():
             return True
-        live = sum(self.item_id(slot).length
-                   for slot in range(self.slot_count)
-                   if self.item_id(slot).is_live)
-        dead_slots = any(self.item_id(slot).state == LP_DEAD
-                         for slot in range(self.slot_count))
-        pointer_slots = self.slot_count + (0 if dead_slots else 1)
-        ceiling = (self.special_offset - PAGE_HEADER_SIZE
+        lower, _upper, special = _LUS.unpack_from(self.buf, _LUS_OFFSET)
+        count = (lower - PAGE_HEADER_SIZE) // ITEM_ID_SIZE
+        live = 0
+        dead_slots = False
+        unpack = _ITEMID.unpack_from
+        buf = self.buf
+        for slot in range(count):
+            lenstate = unpack(buf, PAGE_HEADER_SIZE + slot * ITEM_ID_SIZE)[1]
+            state = lenstate & _LP_STATE_MASK
+            if state == LP_NORMAL:
+                live += lenstate >> _LP_LEN_SHIFT
+            elif state == LP_DEAD:
+                dead_slots = True
+        pointer_slots = count + (0 if dead_slots else 1)
+        ceiling = (special - PAGE_HEADER_SIZE
                    - pointer_slots * ITEM_ID_SIZE)
         return length <= ceiling - live
 
@@ -180,8 +211,12 @@ class SlottedPage:
         lsn, checksum, flags, lower, upper, special = self._read_header()
 
         reuse = None
-        for slot in range(self.slot_count):
-            if self.item_id(slot).state == LP_DEAD:
+        count = (lower - PAGE_HEADER_SIZE) // ITEM_ID_SIZE
+        unpack = _ITEMID.unpack_from
+        buf = self.buf
+        for slot in range(count):
+            lenstate = unpack(buf, PAGE_HEADER_SIZE + slot * ITEM_ID_SIZE)[1]
+            if lenstate & _LP_STATE_MASK == LP_DEAD:
                 reuse = slot
                 break
 
@@ -192,22 +227,58 @@ class SlottedPage:
                 f"({upper - lower} bytes free)")
 
         new_upper = upper - length
-        self.buf[new_upper:new_upper + length] = data
+        buf[new_upper:new_upper + length] = data
         if reuse is not None:
             slot = reuse
         else:
-            slot = self.slot_count
+            slot = count
             lower += ITEM_ID_SIZE
         self._write_header(lsn, checksum, flags, lower, new_upper, special)
         self._set_item_id(slot, new_upper, length, LP_NORMAL)
         return slot
 
+    def item_view(self, slot: int) -> memoryview:
+        """Zero-copy view of the live item in *slot*.
+
+        The view aliases the page buffer and is valid only until the next
+        page mutation; callers that keep the bytes use :meth:`get_item`.
+
+        The line-pointer decode is inlined (no :class:`ItemId`): this is
+        the hottest accessor in the engine, and constructing a frozen
+        dataclass per read costs more than the slice it guards.
+        """
+        buf = self.buf
+        if not 0 <= slot < (
+                _LUS.unpack_from(buf, _LUS_OFFSET)[0]
+                - PAGE_HEADER_SIZE) // ITEM_ID_SIZE:
+            raise PageError(
+                f"slot {slot} out of range (page has {self.slot_count})")
+        offset, lenstate = _ITEMID.unpack_from(
+            buf, PAGE_HEADER_SIZE + slot * ITEM_ID_SIZE)
+        state = lenstate & _LP_STATE_MASK
+        if state != LP_NORMAL:
+            raise PageError(f"slot {slot} is not live (state={state})")
+        return self._view[offset:offset + (lenstate >> _LP_LEN_SHIFT)]
+
     def get_item(self, slot: int) -> bytes:
-        """Return the bytes of the live item in *slot*."""
-        item = self.item_id(slot)
-        if not item.is_live:
-            raise PageError(f"slot {slot} is not live (state={item.state})")
-        return bytes(self.buf[item.offset:item.offset + item.length])
+        """Return a copy of the live item in *slot*.
+
+        This is the sanctioned copying accessor: data it returns survives
+        any later page modification.
+        """
+        buf = self.buf
+        if not 0 <= slot < (
+                _LUS.unpack_from(buf, _LUS_OFFSET)[0]
+                - PAGE_HEADER_SIZE) // ITEM_ID_SIZE:
+            raise PageError(
+                f"slot {slot} out of range (page has {self.slot_count})")
+        offset, lenstate = _ITEMID.unpack_from(
+            buf, PAGE_HEADER_SIZE + slot * ITEM_ID_SIZE)
+        state = lenstate & _LP_STATE_MASK
+        if state != LP_NORMAL:
+            raise PageError(f"slot {slot} is not live (state={state})")
+        # repro: allow(R007): this *is* the sanctioned copying accessor.
+        return bytes(self._view[offset:offset + (lenstate >> _LP_LEN_SHIFT)])
 
     def delete_item(self, slot: int) -> None:
         """Mark *slot* dead.  Space is reclaimed later by :meth:`compact`."""
@@ -231,7 +302,19 @@ class SlottedPage:
         if len(data) == item.length:
             self.buf[item.offset:item.offset + item.length] = data
             return
-        old_data = bytes(self.buf[item.offset:item.offset + item.length])
+        delta = len(data) - item.length
+        if item.offset == self.upper and delta <= self.upper - self.lower:
+            # The bottom-most item resizes by sliding its start — no
+            # delete/re-add, no compaction.  B-tree node pages (one item
+            # that grows a little on every insert) live on this path.
+            lsn, checksum, flags, lower, upper, special = self._read_header()
+            new_offset = upper - delta
+            self.buf[new_offset:new_offset + len(data)] = data
+            self._write_header(lsn, checksum, flags, lower,
+                               new_offset, special)
+            self._set_item_id(slot, new_offset, len(data), LP_NORMAL)
+            return
+        old_data = self.get_item(slot)  # survives the compaction below
         self._set_item_id(slot, 0, 0, LP_DEAD)
         if len(data) > self.upper - self.lower:
             self.compact()
@@ -249,6 +332,23 @@ class SlottedPage:
             raise PageFullError(
                 f"replacement item of {len(data)} bytes does not fit")
 
+    def patch_item(self, slot: int, offset_in_item: int,
+                   patch: bytes) -> None:
+        """Overwrite *patch* bytes inside the item at *offset_in_item*.
+
+        In-place header updates (stamping ``xmax``) go through this instead
+        of copying the whole image through :meth:`overwrite_item`.
+        """
+        item = self.item_id(slot)
+        if not item.is_live:
+            raise PageError(f"slot {slot} is not live")
+        if offset_in_item < 0 or offset_in_item + len(patch) > item.length:
+            raise PageError(
+                f"patch [{offset_in_item}:{offset_in_item + len(patch)}] "
+                f"outside item of {item.length} bytes")
+        start = item.offset + offset_in_item
+        self.buf[start:start + len(patch)] = patch
+
     def live_slots(self) -> list[int]:
         """Slot numbers of all live items, in slot order."""
         return [s for s in range(self.slot_count)
@@ -259,15 +359,20 @@ class SlottedPage:
 
         Slot numbers are preserved.  Returns the number of free bytes after
         compaction.
+
+        Any outstanding :meth:`item_view` views are left dangling over
+        stale bytes — this is the mutation the zero-copy contract warns
+        about, and why the items are snapshotted (one whole-page copy,
+        cheaper than per-item slices) before the rewrite.
         """
         lsn, checksum, flags, lower, _upper, special = self._read_header()
+        snapshot = bytes(self.buf)
         items = []
         for slot in range(self.slot_count):
             item = self.item_id(slot)
             if item.is_live:
                 items.append(
-                    (slot, bytes(self.buf[item.offset:
-                                          item.offset + item.length])))
+                    (slot, snapshot[item.offset:item.offset + item.length]))
         # Rewrite from the top of the data area down.
         upper = special
         for slot, data in sorted(items, key=lambda x: -len(x[1])):
@@ -288,7 +393,7 @@ class SlottedPage:
         clean = bytearray(header)
         _HEADER.pack_into(clean, 0, lsn, 0, flags, lower, upper, special)
         crc = zlib.crc32(clean)
-        return zlib.crc32(self.buf[PAGE_HEADER_SIZE:], crc) & 0xFFFFFFFF
+        return zlib.crc32(self._view[PAGE_HEADER_SIZE:], crc) & 0xFFFFFFFF
 
     def stamp_checksum(self) -> None:
         """Store the current checksum into the header (before a device write)."""

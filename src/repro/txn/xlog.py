@@ -56,6 +56,11 @@ class CommitLog:
         self._mutex = threading.Lock()
         self._status: dict[int, TxnStatus] = {}
         self._commit_time: dict[int, float] = {}
+        #: Monotonic counter bumped on every commit/abort.  Consumers use
+        #: it as a visibility-epoch token: a value cached while the epoch
+        #: was E is still trustworthy iff the epoch is still E (nothing
+        #: changed fate in between, so no snapshot's view moved).
+        self.visibility_epoch = 0
         self._next_xid = FIRST_XID
         self._reserved_until = FIRST_XID  # exclusive upper bound on disk
         self._handle = None
@@ -158,6 +163,7 @@ class CommitLog:
             self._append(xid, TxnStatus.COMMITTED, commit_time)
             self._status[xid] = TxnStatus.COMMITTED
             self._commit_time[xid] = commit_time
+            self.visibility_epoch += 1
 
     def set_aborted(self, xid: int) -> None:
         """Record that *xid* aborted."""
@@ -165,6 +171,17 @@ class CommitLog:
             self._require_in_progress(xid)
             self._append(xid, TxnStatus.ABORTED, 0.0)
             self._status[xid] = TxnStatus.ABORTED
+            self.visibility_epoch += 1
+
+    def bump_visibility_epoch(self) -> None:
+        """Invalidate epoch-keyed caches after physical reorganization.
+
+        Vacuum prunes dead tuples and their index entries without any
+        transaction changing fate, so consumers holding epoch-keyed TID
+        memos would otherwise chase freed slots.
+        """
+        with self._mutex:
+            self.visibility_epoch += 1
 
     def _require_in_progress(self, xid: int) -> None:
         status = self.status(xid)

@@ -45,9 +45,10 @@ def lint(tmp_path: Path, rel: str, source: str, rule_id: str):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = [rule.id for rule in all_rules()]
-        for expected in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for expected in ("R001", "R002", "R003", "R004", "R005", "R006",
+                         "R007"):
             assert expected in ids
 
     def test_unknown_rule_raises(self):
@@ -372,6 +373,52 @@ class TestSuppressionMechanics:
         path = write_module(tmp_path, "lo/x.py", source)
         report = analyze_file(path, [get_rule("R004")])
         assert [f.rule for f in report.findings] == ["R004"]
+
+
+class TestR007HotPathBytesCopy:
+    VIOLATION = """\
+        def read_item(self, start, end):
+            return bytes(self.buf[start:end])
+    """
+
+    def test_fires_in_page(self, tmp_path):
+        report = lint(tmp_path, "storage/page.py", self.VIOLATION, "R007")
+        assert [f.rule for f in report.findings] == ["R007"]
+        assert "memoryview" in report.findings[0].message
+
+    def test_fires_in_access(self, tmp_path):
+        report = lint(tmp_path, "access/heap.py", self.VIOLATION, "R007")
+        assert [f.rule for f in report.findings] == ["R007"]
+
+    def test_silent_outside_hot_modules(self, tmp_path):
+        report = lint(tmp_path, "lo/fchunk.py", self.VIOLATION, "R007")
+        assert report.findings == []
+
+    def test_sanctioned_accessor_not_flagged(self, tmp_path):
+        source = """\
+            def get_item(self, start, end):
+                return bytes(self.buf[start:end])
+        """
+        report = lint(tmp_path, "storage/page.py", source, "R007")
+        assert report.findings == []
+
+    def test_whole_object_copy_not_flagged(self, tmp_path):
+        source = """\
+            def snapshot(self):
+                return bytes(self.buf)
+        """
+        report = lint(tmp_path, "storage/page.py", source, "R007")
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        source = """\
+            def read_item(self, start, end):
+                # repro: allow(R007): boundary copy, leaves the pin
+                return bytes(self.buf[start:end])
+        """
+        report = lint(tmp_path, "storage/page.py", source, "R007")
+        assert report.findings == []
+        assert report.suppressed == 1
 
 
 class TestDriverAndReporters:

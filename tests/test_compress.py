@@ -150,7 +150,7 @@ class TestRegistry:
 
     def test_unknown(self):
         with pytest.raises(CompressionError):
-            get_compressor("lz4")
+            get_compressor("zstd-nope")
 
     def test_custom_registration(self):
         from repro.compress import register_compressor
@@ -185,3 +185,113 @@ def test_property_zero_run_structured(spans):
     data = b"".join(bytes(n) if zero else b"\x5a" * n for zero, n in spans)
     compressor = ZeroRunCompressor()
     assert compressor.decompress(compressor.compress(data)) == data
+
+
+class _FlakyCompressor(NullCompressor):
+    """Fails the first call in each direction, succeeds on retry."""
+
+    name = "flaky"
+
+    def __init__(self):
+        self.compress_calls = 0
+        self.decompress_calls = 0
+
+    def compress(self, data):
+        self.compress_calls += 1
+        if self.compress_calls == 1:
+            raise CompressionError("transient failure")
+        return super().compress(data)
+
+    def decompress(self, data):
+        self.decompress_calls += 1
+        if self.decompress_calls == 1:
+            raise CompressionError("transient failure")
+        return super().decompress(data)
+
+
+class TestCostedRetry:
+    """A failing inner codec must not leave simulated cost behind —
+    retrying after the failure would bill the same bytes twice."""
+
+    def test_failed_compress_charges_nothing(self):
+        clock = SimClock()
+        costed = CostedCompressor(_FlakyCompressor(), 8.0,
+                                  CpuModel(mips=1.0), clock)
+        data = bytes(1_000_000)
+        with pytest.raises(CompressionError):
+            costed.compress(data)
+        assert clock.elapsed_in("cpu") == 0.0
+        assert costed.bytes_compressed == 0
+        # The retry succeeds and is billed exactly once.
+        costed.compress(data)
+        assert clock.elapsed_in("cpu") == pytest.approx(8.0)
+        assert costed.bytes_compressed == len(data)
+
+    def test_failed_decompress_charges_nothing(self):
+        clock = SimClock()
+        costed = CostedCompressor(_FlakyCompressor(), 10.0,
+                                  CpuModel(mips=1.0), clock)
+        image = bytes(500_000)
+        with pytest.raises(CompressionError):
+            costed.decompress(image)
+        assert clock.elapsed_in("cpu") == 0.0
+        assert costed.bytes_decompressed == 0
+        costed.decompress(image)
+        assert clock.elapsed_in("cpu") == pytest.approx(5.0)
+        assert costed.bytes_decompressed == len(image)
+
+
+class TestFastCompressor:
+    def make(self):
+        from repro.compress import FastCompressor
+        return FastCompressor()
+
+    @pytest.mark.parametrize("data", [
+        b"", b"a", bytes(10_000), b"ab" * 5_000,
+        bytes(range(256)) * 64,  # incompressible-ish
+    ])
+    def test_roundtrip(self, data):
+        compressor = self.make()
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    @given(st.binary(max_size=5_000))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        compressor = self.make()
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_never_expands_past_header(self):
+        compressor = self.make()
+        data = bytes(range(256))
+        assert len(compressor.compress(data)) <= len(data) + 1
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(CompressionError):
+            self.make().decompress(b"")
+
+    def test_bad_method_byte_rejected(self):
+        with pytest.raises(CompressionError):
+            self.make().decompress(b"\x7fjunk")
+
+    def test_foreign_codec_image_rejected_without_lz4(self):
+        from repro.compress import lz4_available
+        if lz4_available():
+            pytest.skip("real lz4 present: the method byte is decodable")
+        with pytest.raises(CompressionError):
+            self.make().decompress(b"\x03pretend-lz4-payload")
+
+    def test_registered_with_level_variants(self):
+        names = available_compressors()
+        for expected in ("lz4", "zlib-fast", "zlib-best"):
+            assert expected in names
+        fast = get_compressor("zlib-fast")
+        best = get_compressor("zlib-best")
+        assert (fast.level, best.level) == (1, 9)
+
+    def test_costed_wrapping(self):
+        clock = SimClock()
+        costed = CostedCompressor(self.make(), 8.0,
+                                  CpuModel(mips=1.0), clock)
+        data = bytes(100_000)
+        assert costed.decompress(costed.compress(data)) == data
+        assert clock.elapsed_in("cpu") == pytest.approx(1.6)

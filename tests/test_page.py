@@ -235,3 +235,54 @@ def test_property_delete_compact_preserves_survivors(items, data):
         if slot in doomed:
             continue
         assert page.get_item(slot) == item
+
+
+class TestItemViewAliasing:
+    """The zero-copy contract: ``item_view`` aliases the page buffer and
+    does NOT survive mutation; ``get_item`` is the copying accessor."""
+
+    def test_view_aliases_live_page(self):
+        page = SlottedPage()
+        slot = page.add_item(b"A" * 32)
+        view = page.item_view(slot)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"A" * 32
+        # Patching through the page is visible through the view: proof
+        # that no copy was taken.
+        page.patch_item(slot, 0, b"ZZ")
+        assert bytes(view[:2]) == b"ZZ"
+
+    def test_get_item_is_a_copy(self):
+        page = SlottedPage()
+        slot = page.add_item(b"B" * 32)
+        copied = page.get_item(slot)
+        page.patch_item(slot, 0, b"ZZ")
+        assert copied == b"B" * 32  # unchanged: it does not alias
+
+    def test_view_goes_stale_across_compaction(self):
+        page = SlottedPage()
+        first = page.add_item(b"X" * 64)
+        second = page.add_item(b"Y" * 64)
+        page.add_item(b"Z" * 64)
+        copied = page.get_item(second)
+        view = page.item_view(second)
+        page.delete_item(first)
+        page.compact()
+        # The copy still matches the logical item; the view still points
+        # at the old offset, where compaction relocated a different item.
+        assert page.get_item(second) == copied
+        assert bytes(view) == b"Z" * 64
+        assert bytes(view) != copied
+
+    def test_view_of_dead_slot_rejected(self):
+        page = SlottedPage()
+        slot = page.add_item(b"C" * 16)
+        page.delete_item(slot)
+        with pytest.raises(PageError):
+            page.item_view(slot)
+
+    def test_patch_item_bounds_checked(self):
+        page = SlottedPage()
+        slot = page.add_item(b"D" * 16)
+        with pytest.raises(PageError):
+            page.patch_item(slot, 15, b"toolong")
