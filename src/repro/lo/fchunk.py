@@ -44,11 +44,17 @@ from typing import TYPE_CHECKING
 from repro.access.scan import IndexProbe, IndexRangeScan, fetch_visible
 from repro.access.tuples import TID, HeapTuple
 from repro.compress.base import Compressor
-from repro.errors import LargeObjectError, NoActiveTransaction
+from repro.errors import (
+    LargeObjectError,
+    NoActiveTransaction,
+    ReadOnlyObject,
+)
 from repro.lo import metadata
 from repro.lo.interface import LargeObject
 from repro.storage.constants import CHUNK_PAYLOAD
+from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction
+from repro.txn.rangelock import IntervalSet, lo_range, lo_whole
 from repro.txn.snapshot import Snapshot
 
 if TYPE_CHECKING:
@@ -59,6 +65,15 @@ if TYPE_CHECKING:
 #: re-reads and short backward seeks never re-inflate, small enough to
 #: stay irrelevant next to the buffer pool.
 READ_CACHE_CHUNKS = 8
+
+#: Write range locks are taken on chunk-aligned spans rounded out to this
+#: many chunks (64 × 8000 B = 512 KB by default).  Chunk alignment is a
+#: correctness requirement — the write buffer materializes whole-chunk
+#: versions, so two writers sharing a chunk would lose updates;
+#: coarsening beyond one chunk is a throughput choice: a sequential load
+#: takes O(object / grain) lock-manager trips instead of one per chunk,
+#: and writers only serialize when their spans land in the same grain.
+LOCK_GRAIN_CHUNKS = 64
 
 #: Sentinel for "this seqno's fate has not been learned yet" in the
 #: writer's known-TID map (``None`` there means *known absent*).
@@ -120,8 +135,10 @@ class FChunkObject(LargeObject):
         # they always did; see docs/performance.md.
         self._fast = db.bufmgr.cpu is None
         #: Writer-only map seqno -> TID (or None = known absent).  Safe
-        #: because a writable descriptor holds the per-object EXCLUSIVE
-        #: lock: nothing else can create or retire chunk versions.
+        #: under range locking because every entry is invalidated (and
+        #: the absence baseline re-anchored to the committed size) by
+        #: ``_refresh_committed`` whenever any transaction commits or
+        #: aborts — see the visibility-epoch gate there.
         self._known_tids: dict[int, TID | None] | None = None
         self._baseline_chunks = 0
         #: Read-only size memo: (size, clog.visibility_epoch).  Reusable
@@ -136,6 +153,11 @@ class FChunkObject(LargeObject):
         #: only trusts the epoch for *index membership* (vacuum bumps
         #: the epoch when it prunes entries).
         self._ro_entries: tuple[int, dict[int, list[TID]]] | None = None
+        #: Byte spans this descriptor has EXCLUSIVE range locks on
+        #: (writable only); re-locking a covered span is a no-op.
+        self._locked = IntervalSet()
+        self._whole_locked = False
+        self._commit_epoch = db.clog.visibility_epoch
         if writable:
             self._pending_size = self._read_size(self._snapshot())
             txn.before_commit.append(self.flush)
@@ -150,6 +172,68 @@ class FChunkObject(LargeObject):
     def _snapshot(self) -> Snapshot:
         return self.db.snapshot(self.txn, as_of=self.as_of)
 
+    # -- range locking / concurrent-commit refresh --------------------------------
+
+    def _refresh_committed(self) -> None:
+        """Fold growth committed by *other* transactions into this
+        writable descriptor's view.
+
+        Gated on ``CommitLog.visibility_epoch``: while nothing commits or
+        aborts anywhere, this is one integer compare (so single-writer
+        runs — including the simulated figure workloads — never pay an
+        extra size probe).  When the epoch has moved, the committed size
+        is re-read: the pending size ratchets up to it, the known-TID
+        map and read cache drop entries that a concurrent committer may
+        have retired, and the "chunks at or past here never existed"
+        absence baseline re-anchors to the new committed extent.
+        """
+        if self._pending_size is None:  # read-only: epoch-keyed memos
+            return
+        epoch = self.db.clog.visibility_epoch
+        if epoch == self._commit_epoch:
+            return
+        self._commit_epoch = epoch
+        committed = self._read_size(self._snapshot())
+        if committed > self._pending_size:
+            self._pending_size = committed
+        if self._known_tids is not None:
+            self._known_tids.clear()
+            payload = self.chunk_payload
+            self._baseline_chunks = max(
+                self._baseline_chunks,
+                (committed + payload - 1) // payload)
+        self._read_cache.clear()
+
+    def _lock_span(self, offset: int, end: int) -> None:
+        """EXCLUSIVE range lock covering ``[offset, end)``, grain-aligned.
+
+        Writers declare the byte range they are about to mutate; disjoint
+        declarations are granted in parallel, overlapping ones block
+        until the holder's transaction ends (strict 2PL).
+        """
+        if self._whole_locked:
+            return
+        grain = self.chunk_payload * LOCK_GRAIN_CHUNKS
+        lo = (offset // grain) * grain
+        hi = ((max(end, offset + 1) + grain - 1) // grain) * grain
+        if self._locked.covers(lo, hi):
+            return
+        self.db.locks.acquire(self.txn.xid, lo_range(self.oid, lo, hi),
+                              LockMode.EXCLUSIVE)
+        self._locked.add(lo, hi)
+        self._refresh_committed()
+
+    def _lock_whole(self) -> None:
+        """The whole-object ``[0, inf)`` range (truncate): conflicts with
+        every concurrent writer, and makes the flushed size *exact*."""
+        if self._whole_locked:
+            return
+        self.db.locks.acquire(self.txn.xid, lo_whole(self.oid),
+                              LockMode.EXCLUSIVE)
+        self._whole_locked = True
+        self._locked.add(0, None)
+        self._refresh_committed()
+
     # -- size row ------------------------------------------------------------------
 
     def _read_size(self, snapshot: Snapshot) -> int:
@@ -157,6 +241,10 @@ class FChunkObject(LargeObject):
 
     def _size(self) -> int:
         if self._pending_size is not None:
+            # Another transaction's committed append may have grown the
+            # object past what this writer last saw (epoch-gated no-op
+            # in the common single-writer case).
+            self._refresh_committed()
             return self._pending_size
         if self._fast and self.txn is None:
             epoch = self.db.clog.visibility_epoch
@@ -185,12 +273,16 @@ class FChunkObject(LargeObject):
         """
         known = self._known_tids
         if known is not None:
+            # Epoch-gated: drops entries a concurrent commit could have
+            # retired and re-anchors the absence baseline before either
+            # is trusted below.
+            self._refresh_committed()
             tid = known.get(seqno, _UNKNOWN)
             if tid is None:
                 return None
             if tid is _UNKNOWN and seqno >= self._baseline_chunks:
-                # Beyond the size the object had when opened, and this
-                # (exclusively locked) descriptor never created it.
+                # Beyond every committed chunk (baseline tracks the
+                # committed size) and this descriptor never created it.
                 known[seqno] = None
                 return None
             if tid is not _UNKNOWN:
@@ -314,6 +406,7 @@ class FChunkObject(LargeObject):
     def _flush_chunk(self) -> None:
         if self._buf_seqno is None or not self._buf_dirty:
             return
+        self._refresh_committed()
         seqno = self._buf_seqno
         image = self.compressor.compress(bytes(self._buf_data))
         known = self._known_tids
@@ -347,8 +440,10 @@ class FChunkObject(LargeObject):
     def _flush_size(self) -> None:
         if self._pending_size is None:
             return
+        # Holding [0, inf) (truncate) is the only case where the size may
+        # legitimately shrink; everyone else max-merges (see write_size).
         metadata.write_size(self.db, self.txn, self.oid,
-                            self._pending_size)
+                            self._pending_size, exact=self._whole_locked)
 
     def _switch_buffer(self, seqno: int,
                        snapshot: Snapshot | None = None) -> None:
@@ -381,7 +476,17 @@ class FChunkObject(LargeObject):
         size = self._size()
         if offset >= size or nbytes <= 0:
             return b""
-        end = min(offset + nbytes, size)
+        return self._read_span(offset, min(offset + nbytes, size))
+
+    def _read_span(self, offset: int, end: int) -> bytes:
+        """Gather exactly ``[offset, end)`` without consulting the size
+        row (missing chunks read as zeros).
+
+        The v-segment byte store reads through this: a segment record
+        visible to the caller's snapshot proves its extent exists even
+        when this store descriptor's pending size has not caught up with
+        another writer's committed appends.
+        """
         payload = self.chunk_payload
         first = offset // payload
         last = (end - 1) // payload
@@ -445,6 +550,10 @@ class FChunkObject(LargeObject):
         self.txn.require_active()
         payload = self.chunk_payload
         end = offset + len(data)
+        # Declare the mutated range before buffering anything: overlapping
+        # writers block here (strict 2PL), disjoint ones sail through.
+        self._lock_span(offset, end)
+        self._refresh_committed()
         for seqno in range(offset // payload, (end - 1) // payload + 1):
             chunk_start = seqno * payload
             lo = max(offset, chunk_start)
@@ -461,6 +570,9 @@ class FChunkObject(LargeObject):
 
     def _truncate(self, size: int) -> None:
         self.txn.require_active()
+        # Truncate rewrites the object's extent wholesale: take [0, inf)
+        # so no concurrent writer can be mid-flight past the cut.
+        self._lock_whole()
         snapshot = self._snapshot()
         current = self._size()
         if size >= current:
@@ -493,6 +605,48 @@ class FChunkObject(LargeObject):
                     self._known_tids[seqno] = None
         self._read_cache.clear()
         self._pending_size = size
+
+    # -- append ----------------------------------------------------------------------------
+
+    def append(self, data: bytes) -> int:
+        """Write *data* at end-of-file, atomically under concurrency.
+
+        ``seek(0, SEEK_END)`` + ``write`` computes the EOF before taking
+        any lock, so two appenders that both read the same committed size
+        would overwrite each other after serializing.  This re-resolves
+        the EOF *under* the range lock (see :meth:`_reserve_eof`), so
+        concurrent appends land exactly once, in lock-grant order.
+        """
+        self._check_open()
+        if not self.writable:
+            raise ReadOnlyObject(
+                f"large object {self.designator!r} is open read-only")
+        data = bytes(data)
+        if not data:
+            return 0
+        self.txn.require_active()
+        offset = self._reserve_eof(len(data))
+        self._write_at(offset, data)
+        self._pos = offset + len(data)
+        return len(data)
+
+    def _reserve_eof(self, length: int) -> int:
+        """A stable EOF to append *length* bytes at.
+
+        Lock the grain the current EOF lands in, then re-check: if
+        granting the lock waited out another appender's commit, the EOF
+        has moved and the loop locks the new target.  Once the EOF grain
+        is held, later appenders block on it, so the size is frozen and
+        the loop exits — each retry implies another transaction committed
+        an extension, so progress is guaranteed.
+        """
+        while True:
+            self._refresh_committed()
+            start = self._size()
+            self._lock_span(start, start + length)
+            self._refresh_committed()
+            if self._size() == start:
+                return start
 
     # -- storage accounting (Figure 1) ---------------------------------------------------------
 

@@ -36,6 +36,10 @@ class LargeObject(ABC):
         self.writable = writable
         self._pos = 0
         self._closed = False
+        #: Callbacks run exactly once when the descriptor closes; the
+        #: session uses this to forget the handle, the manager to retire
+        #: its open-descriptor registration (which unlink checks).
+        self.on_close: list = []
 
     # -- primitive operations (implementation-specific) -----------------------
 
@@ -130,11 +134,26 @@ class LargeObject(ABC):
         self._check_open()
         return self._size()
 
+    def append(self, data: bytes) -> int:
+        """Write *data* at end-of-file; returns the bytes written.
+
+        The base implementation is ``seek(0, SEEK_END)`` + ``write``.
+        The chunked implementations override it to re-resolve the EOF
+        *under* their write range lock, so concurrent appenders land
+        exactly once instead of overwriting each other at a stale EOF.
+        """
+        self._check_open()
+        self.seek(0, SEEK_END)
+        return self.write(data)
+
     def close(self) -> None:
         """Release the descriptor.  Idempotent."""
         if not self._closed:
             self._close()
             self._closed = True
+            callbacks, self.on_close = self.on_close, []
+            for callback in callbacks:
+                callback()
 
     @property
     def closed(self) -> bool:

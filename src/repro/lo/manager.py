@@ -19,11 +19,16 @@ base"* (§6.1).
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 from repro.compress.base import get_compressor
 from repro.db import PG_LARGEOBJECT
-from repro.errors import LargeObjectError, LargeObjectNotFound
+from repro.errors import (
+    LargeObjectError,
+    LargeObjectNotFound,
+    RelationNotFound,
+)
 from repro.lo import metadata
 from repro.lo.fchunk import FChunkObject, chunk_class_name, chunk_index_name
 from repro.lo.interface import LargeObject
@@ -37,6 +42,7 @@ from repro.lo.vsegment import (
 )
 from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction
+from repro.txn.rangelock import lo_whole
 
 if TYPE_CHECKING:
     import os
@@ -72,6 +78,19 @@ class LargeObjectManager:
         #: Aggregated hit/miss counters for every descriptor's
         #: decompressed-data cache; ``db.statistics()["largeobjects"]``.
         self.cache_stats = metadata.LargeObjectCacheStats()
+        #: oid -> count of open chunked descriptors (any mode, any
+        #: session).  Readers take no heavyweight locks, so this registry
+        #: is how unlink — whose relation drop is non-transactional DDL —
+        #: refuses to pull a class out from under a live scan.
+        self._open_mutex = threading.Lock()
+        self._open_counts: dict[int, int] = {}
+        #: Per-store append cursors for v-segment byte stores.  The store
+        #: "only grows"; under concurrency each writer reserves a
+        #: disjoint extent here instead of trusting its descriptor's
+        #: (possibly stale) EOF.  Extents reserved by transactions that
+        #: later abort are simply never written — holes read as zeros.
+        self._cursor_mutex = threading.Lock()
+        self._append_cursors: dict[int, int] = {}
 
     # -- creation --------------------------------------------------------------------
 
@@ -221,24 +240,70 @@ class LargeObjectManager:
 
     def _open_chunked(self, oid: int, txn: Transaction | None,
                       writable: bool, as_of: float | None) -> LargeObject:
-        if writable and txn is not None:
-            # Writers serialize per object (EXCLUSIVE, held to txn end);
-            # readers take no lock — no-overwrite versioning means they
-            # never see a writer's uncommitted chunks.
-            self.db.locks.acquire(txn.xid, ("largeobject", oid),
-                                  LockMode.EXCLUSIVE)
+        # No whole-object lock here: writers declare the byte ranges they
+        # actually mutate (EXCLUSIVE range locks taken at write time, held
+        # to txn end), so disjoint-range writers proceed in parallel.
+        # Readers still take no lock at all — no-overwrite versioning
+        # means they never see a writer's uncommitted chunks.
         entry = self.db.catalog.get_large_object(oid)
         compressor = get_compressor(entry.compression)
-        if entry.impl == "fchunk":
-            return FChunkObject(self.db, oid, compressor, txn, writable,
-                                as_of=as_of)
-        store_oid = (entry.detail or {}).get("store_oid")
-        if store_oid is None:
-            raise LargeObjectError(
-                f"v-segment object {oid} has no byte store recorded")
-        store = self._open_chunked(store_oid, txn, writable, as_of)
-        return VSegmentObject(self.db, oid, compressor, store, txn,
-                              writable, as_of=as_of)
+        try:
+            if entry.impl == "fchunk":
+                obj: LargeObject = FChunkObject(
+                    self.db, oid, compressor, txn, writable, as_of=as_of)
+            else:
+                store_oid = (entry.detail or {}).get("store_oid")
+                if store_oid is None:
+                    raise LargeObjectError(
+                        f"v-segment object {oid} has no byte store "
+                        f"recorded")
+                store = self._open_chunked(store_oid, txn, writable, as_of)
+                try:
+                    obj = VSegmentObject(self.db, oid, compressor, store,
+                                         txn, writable, as_of=as_of)
+                except Exception:
+                    store.close()
+                    raise
+        except RelationNotFound as exc:
+            raise LargeObjectNotFound(
+                f"large object {oid} was unlinked concurrently") from exc
+        self._register_open(oid)
+        obj.on_close.append(lambda: self._release_open(oid))
+        return obj
+
+    # -- open-descriptor registry / store append cursors -------------------------------------
+
+    def _register_open(self, oid: int) -> None:
+        with self._open_mutex:
+            self._open_counts[oid] = self._open_counts.get(oid, 0) + 1
+
+    def _release_open(self, oid: int) -> None:
+        with self._open_mutex:
+            count = self._open_counts.get(oid, 0) - 1
+            if count > 0:
+                self._open_counts[oid] = count
+            else:
+                self._open_counts.pop(oid, None)
+
+    def open_descriptors(self, oid: int) -> int:
+        """How many chunked descriptors are currently open on *oid*."""
+        with self._open_mutex:
+            return self._open_counts.get(oid, 0)
+
+    def reserve_store_extent(self, store_oid: int, length: int, *,
+                             eof_hint: int) -> int:
+        """Claim ``length`` fresh bytes of a v-segment byte store.
+
+        The cursor is lazily anchored at *eof_hint* (the caller's view of
+        the store EOF) and only ever moves forward, so concurrent writers
+        get disjoint extents without a size-row probe; a lone writer gets
+        back exactly its own EOF — the identical layout the plain
+        ``seek(0, SEEK_END)`` append produced.
+        """
+        with self._cursor_mutex:
+            start = max(self._append_cursors.get(store_oid, 0), eof_hint)
+            self._append_cursors[store_oid] = start + length
+            return start
 
     # -- unlink -------------------------------------------------------------------------------
 
@@ -250,6 +315,13 @@ class LargeObjectManager:
         POSTGRES V4, not undone by a later abort.
         """
         if not is_chunked(designator):
+            if designator in self._pfile_writers:
+                # A native-file writer flushes straight to the filesystem:
+                # unlinking under it would let a later flush resurrect the
+                # file (or lose the bytes entirely).
+                raise LargeObjectError(
+                    f"cannot unlink {designator!r}: an open writer holds "
+                    f"it (close the descriptor first)")
             self.nativefs.unlink(designator)
             return
         if txn is None:
@@ -258,9 +330,18 @@ class LargeObjectManager:
         self._unlink_chunked(txn, designator_oid(designator))
 
     def _unlink_chunked(self, txn: Transaction, oid: int) -> None:
-        # Same lock a writer takes: unlink must not race an open writer.
-        self.db.locks.acquire(txn.xid, ("largeobject", oid),
-                              LockMode.EXCLUSIVE)
+        # The whole-object [0, inf) range: conflicts with every writer's
+        # range lock, so no write can be mid-flight while we drop.
+        self.db.locks.acquire(txn.xid, lo_whole(oid), LockMode.EXCLUSIVE)
+        # Lock-free readers are invisible to the lock manager; the open-
+        # descriptor registry is what keeps the (non-transactional) DDL
+        # drop below from failing them mid-scan.
+        open_count = self.open_descriptors(oid)
+        if open_count:
+            raise LargeObjectError(
+                f"cannot unlink large object {oid}: {open_count} open "
+                f"descriptor(s) remain (close them first — the chunk "
+                f"relations would drop under a live reader)")
         entry = self.db.catalog.get_large_object(oid)
         # Delete the size row (transactional part).  The scan collects
         # (and releases the engine latch) before the deletes: db.delete

@@ -19,6 +19,7 @@ from repro.access.scan import IndexProbe
 from repro.access.tuples import HeapTuple
 from repro.db import PG_LARGEOBJECT
 from repro.errors import LargeObjectError
+from repro.txn.locks import LockMode
 from repro.txn.snapshot import Snapshot
 
 if TYPE_CHECKING:
@@ -80,8 +81,25 @@ def read_size(db: "Database", oid: int, snapshot: Snapshot) -> int:
 
 
 def write_size(db: "Database", txn: "Transaction", oid: int,
-               size: int) -> None:
-    """Persist *size* as a new row version, if it changed."""
+               size: int, *, exact: bool = False) -> None:
+    """Persist *size* as a new row version, if it changed.
+
+    Disjoint-range writers commit concurrently, so by default the stored
+    size is **max-merged** under a short EXCLUSIVE ``("losize", oid)``
+    lock: each committer folds in its own high-water mark and can never
+    regress another's extension.  ``exact=True`` stores *size* verbatim —
+    only for callers holding the whole-object ``[0, inf)`` range lock
+    (truncate), where a shrink is legitimate and no concurrent writer can
+    exist.
+    """
     row = size_row(db, oid, db.snapshot(txn))
-    if row.values[1] != size:
-        db.replace(txn, PG_LARGEOBJECT, row.tid, (oid, size))
+    if not exact and row.values[1] >= size:
+        return  # our high-water mark is already (or about to be) merged
+    epoch = db.clog.visibility_epoch
+    db.locks.acquire(txn.xid, ("losize", oid), LockMode.EXCLUSIVE)
+    if db.clog.visibility_epoch != epoch:
+        # The lock waited out another committer; re-read under the lock.
+        row = size_row(db, oid, db.snapshot(txn))
+    new = size if exact else max(size, row.values[1])
+    if row.values[1] != new:
+        db.replace(txn, PG_LARGEOBJECT, row.tid, (oid, new))

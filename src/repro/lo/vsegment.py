@@ -32,11 +32,17 @@ from typing import TYPE_CHECKING
 from repro.access.scan import IndexRangeScan
 from repro.access.tuples import TID, HeapTuple
 from repro.compress.base import Compressor
-from repro.errors import LargeObjectError, NoActiveTransaction
+from repro.errors import (
+    LargeObjectError,
+    NoActiveTransaction,
+    ReadOnlyObject,
+)
 from repro.lo import metadata
 from repro.lo.fchunk import FChunkObject
 from repro.lo.interface import LargeObject
+from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction
+from repro.txn.rangelock import IntervalSet, lo_range, lo_whole
 from repro.txn.snapshot import Snapshot
 
 if TYPE_CHECKING:
@@ -46,6 +52,13 @@ if TYPE_CHECKING:
 #: lets the overlap query scan only ``[offset - SEGMENT_MAX, end)`` of the
 #: index instead of the whole object.
 SEGMENT_MAX = 65536
+
+#: Write range locks cover the mutated span padded by SEGMENT_MAX on both
+#: sides (an edge segment that a write must merge read-modify-write style
+#: starts within SEGMENT_MAX of the window, so two writes that would both
+#: touch it always hold overlapping locks) and are rounded out to this
+#: grain, bounding lock-manager trips for sequential loads.
+LOCK_GRAIN_BYTES = 16 * SEGMENT_MAX
 
 #: Decompressed segments kept per descriptor (up to ~256 KB).  Keyed by
 #: the record's TID: segment contents are immutable once written (the
@@ -105,6 +118,11 @@ class VSegmentObject(LargeObject):
         #: answered with bisect until something commits.
         self._segmap_cache: tuple[int, list[HeapTuple],
                                   list[int]] | None = None
+        #: Byte spans this descriptor holds EXCLUSIVE range locks on
+        #: (writable only).
+        self._locked = IntervalSet()
+        self._whole_locked = False
+        self._commit_epoch = db.clog.visibility_epoch
         if writable:
             self._pending_size = metadata.read_size(
                 db, oid, self._snapshot())
@@ -115,8 +133,54 @@ class VSegmentObject(LargeObject):
     def _snapshot(self) -> Snapshot:
         return self.db.snapshot(self.txn, as_of=self.as_of)
 
+    # -- range locking / concurrent-commit refresh --------------------------------
+
+    def _refresh_committed(self) -> None:
+        """Ratchet the pending size up to the committed size.
+
+        Epoch-gated like f-chunk's: free while nothing commits anywhere,
+        one size probe when something has.  Without this, a writer whose
+        neighbour committed an extension would see a stale EOF and
+        zero-fill a "gap" right over the neighbour's committed bytes.
+        """
+        if self._pending_size is None:
+            return
+        epoch = self.db.clog.visibility_epoch
+        if epoch == self._commit_epoch:
+            return
+        self._commit_epoch = epoch
+        committed = metadata.read_size(self.db, self.oid, self._snapshot())
+        if committed > self._pending_size:
+            self._pending_size = committed
+
+    def _lock_span(self, start: int, end: int) -> None:
+        """EXCLUSIVE range lock on ``[start, end)`` padded by SEGMENT_MAX
+        (edge-segment merges) and rounded out to LOCK_GRAIN_BYTES."""
+        if self._whole_locked:
+            return
+        grain = LOCK_GRAIN_BYTES
+        lo = (max(0, start - SEGMENT_MAX) // grain) * grain
+        hi = ((max(end, start + 1) + SEGMENT_MAX + grain - 1)
+              // grain) * grain
+        if self._locked.covers(lo, hi):
+            return
+        self.db.locks.acquire(self.txn.xid, lo_range(self.oid, lo, hi),
+                              LockMode.EXCLUSIVE)
+        self._locked.add(lo, hi)
+        self._refresh_committed()
+
+    def _lock_whole(self) -> None:
+        if self._whole_locked:
+            return
+        self.db.locks.acquire(self.txn.xid, lo_whole(self.oid),
+                              LockMode.EXCLUSIVE)
+        self._whole_locked = True
+        self._locked.add(0, None)
+        self._refresh_committed()
+
     def _size(self) -> int:
         if self._pending_size is not None:
+            self._refresh_committed()
             return self._pending_size
         if self._fast and self.txn is None:
             epoch = self.db.clog.visibility_epoch
@@ -134,7 +198,8 @@ class VSegmentObject(LargeObject):
             return
         self.store.flush()
         metadata.write_size(self.db, self.txn, self.oid,
-                            self._pending_size)
+                            self._pending_size,
+                            exact=self._whole_locked)
 
     # -- segment lookup --------------------------------------------------------------
 
@@ -204,7 +269,11 @@ class VSegmentObject(LargeObject):
             return cached
         self._cache_stats.segment_cache_misses += 1
         _locn, length, clen, ptr = record.values
-        image = self.store._read_at(ptr, clen)
+        # _read_span, not _read_at: a record visible to our snapshot
+        # proves its store extent exists, even when this (writable)
+        # store descriptor's pending size lags another writer's
+        # committed appends.
+        image = self.store._read_span(ptr, ptr + clen)
         data = self.compressor.decompress(image)
         if len(data) != length:
             raise LargeObjectError(
@@ -244,6 +313,19 @@ class VSegmentObject(LargeObject):
 
     def _write_at(self, offset: int, data: bytes) -> None:
         self.txn.require_active()
+        # Lock a span covering the write *and* any gap it will zero-fill
+        # from the current EOF.  The gap start depends on the size, which
+        # can shrink while the lock request waits (a committing truncate
+        # holds [0, inf)) — so re-check after the grant and widen if the
+        # locked span no longer reaches the new, lower EOF.
+        while True:
+            self._refresh_committed()
+            size = self._size()
+            start = min(offset, size)
+            self._lock_span(start, offset + len(data))
+            self._refresh_committed()
+            if min(offset, self._size()) >= start:
+                break
         size = self._size()
         if offset > size:
             # Zero-fill the gap so the object is dense.
@@ -277,17 +359,30 @@ class VSegmentObject(LargeObject):
         self._pending_size = max(self._pending_size, end)
 
     def _append_segments(self, locn: int, data: bytes) -> None:
-        """Compress *data* into fresh segments appended to the store."""
+        """Compress *data* into fresh segments appended to the store.
+
+        The store "only grows", but its EOF as seen by this descriptor
+        is stale under concurrency — two writers resolving ``seek(0,
+        SEEK_END)`` to the same committed size would interleave their
+        bytes.  The manager's append cursor hands out disjoint extents
+        instead (for a single writer it degenerates to exactly the old
+        EOF, byte-for-byte); the store's own chunk-range locks then cover
+        the reserved extent via the ordinary write path.
+        """
         for start in range(0, len(data), SEGMENT_MAX):
             piece = data[start:start + SEGMENT_MAX]
             image = self.compressor.compress(piece)
-            ptr = self.store.seek(0, 2)  # SEEK_END: store only grows
+            ptr = self.db.lo.reserve_store_extent(
+                self.store.oid, len(image),
+                eof_hint=self.store.seek(0, 2))
+            self.store.seek(ptr)
             self.store.write(image)
             self.db.insert(self.txn, self.relation.name,
                            (locn + start, len(piece), len(image), ptr))
 
     def _truncate(self, size: int) -> None:
         self.txn.require_active()
+        self._lock_whole()
         current = self._size()
         if size >= current:
             self._pending_size = size  # sparse: reads zero-fill holes
@@ -304,6 +399,34 @@ class VSegmentObject(LargeObject):
             if keep:
                 self._append_segments(locn, keep)
         self._pending_size = size
+
+    # -- append ----------------------------------------------------------------------------
+
+    def append(self, data: bytes) -> int:
+        """Write *data* at end-of-file, atomically under concurrency.
+
+        Same protocol as f-chunk's: resolve the EOF *under* the range
+        lock, retrying if granting the lock waited out another appender's
+        committed extension.
+        """
+        self._check_open()
+        if not self.writable:
+            raise ReadOnlyObject(
+                f"large object {self.designator!r} is open read-only")
+        data = bytes(data)
+        if not data:
+            return 0
+        self.txn.require_active()
+        while True:
+            self._refresh_committed()
+            start = self._size()
+            self._lock_span(start, start + len(data))
+            self._refresh_committed()
+            if self._size() == start:
+                break
+        self._write_at(start, data)
+        self._pos = start + len(data)
+        return len(data)
 
     def _close(self) -> None:
         if self.writable:

@@ -1,0 +1,280 @@
+"""``ReproServer``: one connection, one session, one shared engine.
+
+The threaded server maps each accepted socket to a daemon thread
+running :meth:`ReproServer._serve_connection`, which owns exactly one
+:class:`~repro.session.Session`.  Every connection thread calls into
+the same shared :class:`~repro.db.Database`; isolation and mutual
+exclusion come from the engine's lock manager and MVCC, not from any
+serialization in the server.  In particular, two connections writing
+disjoint byte ranges of one large object run genuinely in parallel
+under the range-granular write locks (``txn/rangelock.py``), while
+overlapping writers block each other — exactly the behaviour the
+in-process threaded tests exercise, now across a process boundary.
+
+Failure handling mirrors a real backend: an engine error aborts only
+the offending *command* (the client receives ``ok: false`` with the
+exception class name and may retry or roll back); a vanished client
+rolls back its open transaction via ``Session.close()``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import LargeObjectError, ReproError
+from repro.server import protocol
+from repro.session import Session
+
+if TYPE_CHECKING:
+    from repro.db import Database
+    from repro.lo.interface import LargeObject
+
+
+class ReproServer:
+    """A threaded socket front-end over one :class:`~repro.db.Database`.
+
+    >>> from repro.db import Database
+    >>> from repro.server import ReproServer, ServerClient
+    >>> db = Database()
+    >>> with ReproServer(db) as server:
+    ...     with ServerClient(*server.address) as client:
+    ...         client.ping()
+    True
+    >>> db.close()
+
+    Port 0 (the default) lets the OS pick a free port; read the bound
+    address from :attr:`address` after :meth:`start`.  Entering the
+    context manager starts the server; leaving it stops it (the
+    database itself stays open — the caller owns it).
+    """
+
+    def __init__(self, db: "Database", host: str = "127.0.0.1",
+                 port: int = 0):
+        self.db = db
+        self.host = host
+        self.port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: dict[int, socket.socket] = {}
+        self._conn_threads: list[threading.Thread] = []
+        self._next_conn = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound; valid after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and spawn the accept loop; returns the address."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self._listener = listener
+        self._stopping.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Close the listener and every live connection; join threads."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10.0)
+            self._accept_thread = None
+        with self._conn_lock:
+            live = list(self._connections.values())
+        for conn in live:
+            # Shutdown wakes the handler's blocking recv; its finally
+            # block rolls back the session and closes the socket.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for thread in self._conn_threads:
+            thread.join(timeout=10.0)
+        self._conn_threads = []
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- accept / serve ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:  # listener closed by stop()
+                return
+            with self._conn_lock:
+                conn_id = self._next_conn
+                self._next_conn += 1
+                self._connections[conn_id] = conn
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn, conn_id),
+                    name=f"repro-server-conn-{conn_id}", daemon=True)
+                self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, conn_id: int) -> None:
+        """Run one connection's command loop until EOF or ``close``."""
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        session = Session(self.db)
+        handles: dict[int, LargeObject] = {}
+        next_fd = [1]
+        try:
+            while not self._stopping.is_set():
+                try:
+                    header, body = protocol.recv_message(conn)
+                except (ConnectionError, OSError):
+                    return  # client hung up; finally rolls back
+                if not self._dispatch(conn, session, handles, next_fd,
+                                      header, body):
+                    return
+        finally:
+            session.close()  # aborts any open transaction
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._connections.pop(conn_id, None)
+
+    def _dispatch(self, conn: socket.socket, session: Session,
+                  handles: dict, next_fd: list, header: dict,
+                  body: bytes) -> bool:
+        """Run one command; returns False when the connection should end."""
+        cmd = header.get("cmd")
+        try:
+            if cmd == "close":
+                protocol.send_message(conn, {"ok": True})
+                return False
+            reply, reply_body = self._run_command(
+                session, handles, next_fd, cmd, header, body)
+            protocol.send_message(conn, {"ok": True, **reply}, reply_body)
+        except ReproError as exc:
+            # Engine errors fail the command, not the connection: the
+            # client decides whether to retry, roll back, or give up
+            # (a DeadlockError victim *must* roll back).
+            try:
+                protocol.send_message(conn, {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                })
+            except OSError:
+                return False
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Malformed request or dead socket: report if we can, then
+            # drop the connection — the stream may be out of sync.
+            try:
+                protocol.send_message(conn, {
+                    "ok": False,
+                    "error": "ProtocolError",
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- commands ----------------------------------------------------------------
+
+    def _run_command(self, session: Session, handles: dict,
+                     next_fd: list, cmd: str, header: dict,
+                     body: bytes) -> tuple[dict, bytes]:
+        """Execute one request; returns ``(reply_fields, reply_body)``."""
+        if cmd == "ping":
+            return {"pong": True}, b""
+
+        if cmd == "begin":
+            # repro: allow(R005): the transaction spans many commands by
+            # design; _serve_connection's finally (session.close) aborts
+            # it if the client vanishes without commit/rollback.
+            txn = session.begin()
+            return {"xid": txn.xid}, b""
+        if cmd == "commit":
+            handles.clear()  # commit closes every descriptor
+            session.commit()
+            return {}, b""
+        if cmd == "rollback":
+            handles.clear()
+            session.rollback()
+            return {}, b""
+
+        if cmd == "execute":
+            result = session.execute(header["query"])
+            return {
+                "columns": result.columns,
+                "rows": protocol.encode_rows(result.rows),
+                "count": result.count,
+                "temporaries": sorted(result.temporaries),
+            }, b""
+
+        if cmd == "lo_create":
+            designator = session.lo_create(
+                header.get("impl", "fchunk"),
+                compression=header.get("compression", "none"))
+            return {"designator": designator}, b""
+        if cmd == "lo_unlink":
+            session.lo_unlink(header["designator"])
+            return {}, b""
+        if cmd == "lo_open":
+            handle = session.lo_open(header["designator"],
+                                     header.get("mode", "r"))
+            fd = next_fd[0]
+            next_fd[0] += 1
+            handles[fd] = handle
+            return {"fd": fd}, b""
+
+        if cmd == "stats":
+            return {"stats": self.db.statistics()}, b""
+
+        # Everything below addresses an open descriptor.
+        handle = handles.get(header.get("fd"))
+        if handle is None:
+            raise LargeObjectError(
+                f"bad large-object descriptor {header.get('fd')!r} "
+                f"(command {cmd!r})")
+        if cmd == "lo_read":
+            return {}, handle.read(header.get("nbytes", -1))
+        if cmd == "lo_write":
+            return {"nbytes": handle.write(body)}, b""
+        if cmd == "lo_append":
+            return {"nbytes": handle.append(body)}, b""
+        if cmd == "lo_seek":
+            return {"pos": handle.seek(header["offset"],
+                                       header.get("whence", 0))}, b""
+        if cmd == "lo_tell":
+            return {"pos": handle.tell()}, b""
+        if cmd == "lo_size":
+            return {"size": handle.size()}, b""
+        if cmd == "lo_truncate":
+            return {"size": handle.truncate(header.get("size"))}, b""
+        if cmd == "lo_close":
+            handle.close()
+            handles.pop(header["fd"], None)
+            return {}, b""
+
+        raise ReproError(f"unknown command {cmd!r}")

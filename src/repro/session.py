@@ -125,11 +125,23 @@ class Session:
 
     def lo_open(self, designator: str, mode: str = "r",
                 as_of: float | None = None) -> "LargeObject":
-        """Open a large object, tracked for close-on-commit/rollback."""
+        """Open a large object, tracked for close-on-commit/rollback.
+
+        A handle the user closes early deregisters itself, so commit and
+        rollback never re-close it (and unlink does not count it as a
+        live descriptor).
+        """
         handle = self.db.lo.open(designator, self.require_transaction(),
                                  mode, as_of=as_of)
         self._objects.append(handle)
+        handle.on_close.append(lambda: self._forget_object(handle))
         return handle
+
+    def _forget_object(self, handle: "LargeObject") -> None:
+        try:
+            self._objects.remove(handle)
+        except ValueError:  # already swapped out by close_objects
+            pass
 
     def lo_unlink(self, designator: str) -> None:
         self.db.lo.unlink(self.require_transaction(), designator)

@@ -36,7 +36,17 @@ the other holders (it never queues behind fresh requests, which would
 self-deadlock), and compatible re-acquisition is a no-op.
 
 Resources are identified by arbitrary hashable keys; the conventional keys
-are ``("relation", name)`` and ``("largeobject", oid)``.
+are ``("relation", name)`` and ``("losize", oid)``.  A resource may also
+be a :class:`~repro.txn.rangelock.RangeResource` — a byte interval of one
+object — in which case two grants conflict only when their intervals
+*overlap*: disjoint-range writers to one large object proceed in
+parallel, a whole-object ``[0, inf)`` range conflicts with everyone.  All
+ranges of an object share one FIFO wait queue (keyed by the range's
+*group*), so fairness, upgrade queue-jumping, and the wait-for graph work
+across granularities.  A holder extending its own coverage (requesting a
+range that overlaps something it already holds) is treated like an
+upgrade: it waits only on conflicting holders, never behind queued fresh
+requests, which would self-deadlock.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.errors import DeadlockError, LockError, LockTimeout
+from repro.txn.rangelock import RangeResource
 
 
 class LockMode(enum.Enum):
@@ -60,6 +71,18 @@ class LockMode(enum.Enum):
 
 def _compatible(held: LockMode, wanted: LockMode) -> bool:
     return held is LockMode.SHARED and wanted is LockMode.SHARED
+
+
+def _queue_key(resource: Hashable) -> Hashable:
+    """The wait-queue key: ranges of one object share a queue."""
+    return resource.group if isinstance(resource, RangeResource) else resource
+
+
+def _resources_conflict(a: Hashable, b: Hashable) -> bool:
+    """Whether grants on *a* and *b* can conflict at all (key level)."""
+    if isinstance(a, RangeResource):
+        return isinstance(b, RangeResource) and a.overlaps(b)
+    return a == b
 
 
 @dataclass
@@ -82,6 +105,12 @@ class LockStats:
     upgrades: int = 0
     #: Locks dropped by :meth:`LockManager.release_all`.
     released: int = 0
+    #: Byte-range lock requests granted (immediately or after a wait).
+    range_locks: int = 0
+    #: Byte-range lock requests that had to join a wait queue — the
+    #: "disjoint writers do not serialize" metric: parallel writers to
+    #: non-overlapping regions leave this at zero.
+    range_waits: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -93,6 +122,8 @@ class LockStats:
             "timeouts": self.timeouts,
             "upgrades": self.upgrades,
             "released": self.released,
+            "range_locks": self.range_locks,
+            "range_waits": self.range_waits,
         }
 
 
@@ -107,7 +138,10 @@ class _Waiter:
         self.xid = xid
         self.resource = resource
         self.mode = mode
-        #: The waiter already holds SHARED and wants EXCLUSIVE.
+        #: The waiter already holds a grant on this resource (classic
+        #: SHARED→EXCLUSIVE upgrade) or on an overlapping range (a holder
+        #: extending its coverage); either way it must wait only on the
+        #: conflicting holders, never behind queued fresh requests.
         self.upgrade = upgrade
         self.granted = False
         self.victim = False
@@ -140,7 +174,10 @@ class LockManager:
         self._cond = threading.Condition(threading.Lock())
         #: resource -> {xid: mode}
         self._grants: dict[Hashable, dict[int, LockMode]] = defaultdict(dict)
-        #: resource -> FIFO of blocked requests
+        #: range group -> granted RangeResources of that object (the
+        #: conflict scan for a range walks its group, not the whole table)
+        self._groups: dict[Hashable, set[RangeResource]] = {}
+        #: queue key (resource, or range group) -> FIFO of blocked requests
         self._waiters: dict[Hashable, list[_Waiter]] = {}
         #: xid -> ident of the thread that last acquired for it; lets a
         #: blocking request detect that its wait chain dead-ends in a
@@ -168,10 +205,14 @@ class LockManager:
             self._xid_threads[xid] = threading.get_ident()
             if self._try_grant(xid, resource, mode):
                 self.stats.granted_immediately += 1
+                if isinstance(resource, RangeResource):
+                    self.stats.range_locks += 1
                 return
             if not wait_allowed:
                 raise LockError(self._conflict_message(xid, resource, mode))
             self._wait(xid, resource, mode, timeout)
+            if isinstance(resource, RangeResource):
+                self.stats.range_locks += 1
 
     def _wait(self, xid: int, resource: Hashable, mode: LockMode,
               timeout: float | None) -> None:
@@ -179,9 +220,9 @@ class LockManager:
 
         Runs with ``self._cond`` held (re-taken around each sleep).
         """
-        holders = self._grants.get(resource, {})
-        waiter = _Waiter(xid, resource, mode, upgrade=xid in holders)
-        self._waiters.setdefault(resource, []).append(waiter)
+        waiter = _Waiter(xid, resource, mode,
+                         upgrade=self._holds_conflictable(xid, resource))
+        self._waiters.setdefault(_queue_key(resource), []).append(waiter)
         blocker = self._same_thread_blocker(xid)
         if blocker is not None:
             self._remove_waiter(waiter)
@@ -191,6 +232,8 @@ class LockManager:
                 f"this same thread controls and could never release while "
                 f"parked (self-deadlock)")
         self.stats.waits += 1
+        if isinstance(resource, RangeResource):
+            self.stats.range_waits += 1
         # repro: allow(R004): lock waits block real threads, and the
         # simulated clock does not advance while a thread sleeps —
         # wait timeouts must measure real elapsed (monotonic) time.
@@ -229,37 +272,92 @@ class LockManager:
             f"{mode.value} lock on {resource!r} "
             f"(held by txns {sorted(self.holders(resource))})")
 
+    # -- overlap-aware grant-table queries -------------------------------------------
+
+    def _conflictable_resources(self, resource: Hashable):
+        """Granted resource keys whose grants can conflict with *resource*.
+
+        For a plain key, only the key itself; for a range, every granted
+        range of the same group that overlaps it.
+        """
+        if isinstance(resource, RangeResource):
+            return [res for res in self._groups.get(resource.group, ())
+                    if resource.overlaps(res)]
+        return [resource] if resource in self._grants else []
+
+    def _conflicting_holders(self, xid: int, resource: Hashable,
+                             mode: LockMode) -> dict[int, LockMode]:
+        """Other transactions whose grants block this request."""
+        out: dict[int, LockMode] = {}
+        for res in self._conflictable_resources(resource):
+            for x, m in self._grants.get(res, {}).items():
+                if x != xid and not _compatible(m, mode):
+                    # Report the strongest conflicting mode per holder.
+                    if out.get(x) is not LockMode.EXCLUSIVE:
+                        out[x] = m
+        return out
+
+    def _holds_conflictable(self, xid: int, resource: Hashable) -> bool:
+        """Whether *xid* already holds the key (or an overlapping range)."""
+        return any(xid in self._grants.get(res, {})
+                   for res in self._conflictable_resources(resource))
+
+    def _already_covered(self, xid: int, resource: Hashable,
+                         mode: LockMode) -> bool:
+        """Whether an existing grant of *xid* subsumes this request."""
+        held = self._grants.get(resource, {}).get(xid)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return True
+        if not isinstance(resource, RangeResource):
+            return False
+        for res in self._groups.get(resource.group, ()):
+            m = self._grants.get(res, {}).get(xid)
+            if m is None or (m is not LockMode.EXCLUSIVE and m is not mode):
+                continue
+            if res.contains(resource):
+                return True
+        return False
+
+    def _record_grant(self, xid: int, resource: Hashable,
+                      mode: LockMode) -> None:
+        self._grants[resource][xid] = mode
+        if isinstance(resource, RangeResource):
+            self._groups.setdefault(resource.group, set()).add(resource)
+
+    def _queue_blocks(self, resource: Hashable, mode: LockMode,
+                      earlier: _Waiter) -> bool:
+        """Whether FIFO fairness parks this request behind *earlier*."""
+        if earlier.mode is LockMode.SHARED and mode is LockMode.SHARED:
+            return False
+        return _resources_conflict(earlier.resource, resource)
+
     def _try_grant(self, xid: int, resource: Hashable,
                    mode: LockMode) -> bool:
         """Grant immediately if compatible with holders and queue fairness."""
-        holders = self._grants[resource]
-        held = holders.get(xid)
-        if held is LockMode.EXCLUSIVE or held is mode:
+        if self._already_covered(xid, resource, mode):
             return True
-        others = {x: m for x, m in holders.items() if x != xid}
-        if held is not None:  # SHARED holder asking for EXCLUSIVE
-            if others:
-                return False
-            holders[xid] = LockMode.EXCLUSIVE
-            self.stats.upgrades += 1
-            return True
-        if any(not _compatible(m, mode) for m in others.values()):
+        if self._conflicting_holders(xid, resource, mode):
             return False
-        # Fairness: a fresh request never overtakes a conflicting waiter
-        # (victims are leaving, not waiting — they don't count).
-        for earlier in self._waiters.get(resource, ()):
-            if earlier.victim:
-                continue
-            if not (earlier.mode is LockMode.SHARED
-                    and mode is LockMode.SHARED):
-                return False
-        holders[xid] = mode
+        holders = self._grants[resource]
+        if xid not in holders and not self._holds_conflictable(xid, resource):
+            # Fairness: a fresh request never overtakes a conflicting
+            # waiter (victims are leaving, not waiting — they don't
+            # count).  A holder extending its coverage skips the queue,
+            # like an upgrade: parking behind a request that conflicts
+            # with its existing grant would self-deadlock.
+            for earlier in self._waiters.get(_queue_key(resource), ()):
+                if earlier.victim:
+                    continue
+                if self._queue_blocks(resource, mode, earlier):
+                    return False
+        if holders.get(xid) is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            self.stats.upgrades += 1
+        self._record_grant(xid, resource, mode)
         return True
 
     def _conflict_message(self, xid: int, resource: Hashable,
                           mode: LockMode) -> str:
-        holders = {x: m for x, m in self._grants.get(resource, {}).items()
-                   if x != xid}
+        holders = self._conflicting_holders(xid, resource, mode)
         if mode is LockMode.SHARED and any(
                 m is LockMode.EXCLUSIVE for m in holders.values()):
             exclusive = next(x for x, m in holders.items()
@@ -271,32 +369,30 @@ class LockManager:
 
     # -- wait-queue service ----------------------------------------------------------
 
-    def _grantable_queued(self, resource: Hashable, waiter: _Waiter) -> bool:
-        holders = self._grants.get(resource, {})
-        others = {x: m for x, m in holders.items() if x != waiter.xid}
-        if waiter.xid in holders:  # upgrade: depends only on other holders
-            return not others
-        if any(not _compatible(m, waiter.mode) for m in others.values()):
+    def _grantable_queued(self, waiter: _Waiter) -> bool:
+        resource = waiter.resource
+        if self._conflicting_holders(waiter.xid, resource, waiter.mode):
             return False
-        for earlier in self._waiters.get(resource, ()):
+        if waiter.upgrade:  # upgrade/extension: depends only on holders
+            return True
+        for earlier in self._waiters.get(_queue_key(resource), ()):
             if earlier is waiter:
                 return True
             if earlier.victim:  # leaving, not waiting
                 continue
-            if not (earlier.mode is LockMode.SHARED
-                    and waiter.mode is LockMode.SHARED):
+            if self._queue_blocks(resource, waiter.mode, earlier):
                 return False
         return True
 
-    def _grant_waiters(self, resource: Hashable) -> bool:
-        """Grant every now-eligible waiter on *resource* (FIFO, upgrades
+    def _grant_waiters(self, queue_key: Hashable) -> bool:
+        """Grant every now-eligible waiter on *queue_key* (FIFO, upgrades
         by holder-compatibility).  Returns whether anything was granted.
 
         A victimized waiter is never granted, even if the conflict has
         cleared by the time it would be eligible: its ``acquire`` must
         raise so ``victims`` stays in lockstep with ``deadlocks_detected``
         and the caller's abort actually happens."""
-        queue = self._waiters.get(resource)
+        queue = self._waiters.get(queue_key)
         if not queue:
             return False
         granted_any = False
@@ -306,31 +402,33 @@ class LockManager:
             for waiter in list(queue):
                 if waiter.victim:
                     continue
-                if not self._grantable_queued(resource, waiter):
+                if not self._grantable_queued(waiter):
                     continue
-                holders = self._grants[resource]
+                holders = self._grants[waiter.resource]
                 if waiter.xid in holders:
                     self.stats.upgrades += 1
                     holders[waiter.xid] = LockMode.EXCLUSIVE
                 else:
-                    holders[waiter.xid] = waiter.mode
+                    self._record_grant(waiter.xid, waiter.resource,
+                                       waiter.mode)
                 queue.remove(waiter)
                 waiter.granted = True
                 waiter.grant_count += 1
                 granted_any = progress = True
         if not queue:
-            del self._waiters[resource]
+            del self._waiters[queue_key]
         return granted_any
 
     def _remove_waiter(self, waiter: _Waiter) -> None:
-        queue = self._waiters.get(waiter.resource)
+        queue_key = _queue_key(waiter.resource)
+        queue = self._waiters.get(queue_key)
         if queue is None or waiter not in queue:
             return
         queue.remove(waiter)
         if not queue:
-            del self._waiters[waiter.resource]
+            del self._waiters[queue_key]
         # Our departure may unblock waiters that were queued behind us.
-        elif self._grant_waiters(waiter.resource):
+        elif self._grant_waiters(queue_key):
             self._cond.notify_all()
 
     # -- deadlock detection ------------------------------------------------------------
@@ -348,22 +446,20 @@ class LockManager:
         re-detection find the same cycle forever.
         """
         edges: dict[int, set[int]] = defaultdict(set)
-        for resource, queue in self._waiters.items():
-            holders = self._grants.get(resource, {})
+        for queue in self._waiters.values():
             for position, waiter in enumerate(queue):
                 if waiter.victim:
                     continue
-                for xid, m in holders.items():
-                    if xid != waiter.xid and not _compatible(m, waiter.mode):
-                        edges[waiter.xid].add(xid)
+                for xid in self._conflicting_holders(
+                        waiter.xid, waiter.resource, waiter.mode):
+                    edges[waiter.xid].add(xid)
                 if waiter.upgrade:
                     continue
                 for earlier in queue[:position]:
-                    if earlier.victim:
+                    if earlier.victim or earlier.xid == waiter.xid:
                         continue
-                    if earlier.xid != waiter.xid and not (
-                            earlier.mode is LockMode.SHARED
-                            and waiter.mode is LockMode.SHARED):
+                    if self._queue_blocks(waiter.resource, waiter.mode,
+                                          earlier):
                         edges[waiter.xid].add(earlier.xid)
         return edges
 
@@ -440,21 +536,29 @@ class LockManager:
             for resource, holders in list(self._grants.items()):
                 if holders.pop(xid, None) is not None:
                     released += 1
-                    touched.append(resource)
-                if not holders and resource not in self._waiters:
-                    del self._grants[resource]
+                    touched.append(_queue_key(resource))
+                if not holders:
+                    if isinstance(resource, RangeResource):
+                        group = self._groups.get(resource.group)
+                        if group is not None:
+                            group.discard(resource)
+                            if not group:
+                                del self._groups[resource.group]
+                        del self._grants[resource]
+                    elif resource not in self._waiters:
+                        del self._grants[resource]
             # A txn aborted from outside acquire() may still have a parked
             # waiter (e.g. a victimized thread racing its own cleanup).
-            for resource, queue in list(self._waiters.items()):
+            for queue_key, queue in list(self._waiters.items()):
                 kept = [w for w in queue if w.xid != xid]
                 if len(kept) != len(queue):
-                    self._waiters[resource] = kept
+                    self._waiters[queue_key] = kept
                     if not kept:
-                        del self._waiters[resource]
-                    touched.append(resource)
+                        del self._waiters[queue_key]
+                    touched.append(queue_key)
             woke = False
-            for resource in touched:
-                woke |= self._grant_waiters(resource)
+            for queue_key in touched:
+                woke |= self._grant_waiters(queue_key)
             if woke or released:
                 self._cond.notify_all()
             self.stats.released += released
@@ -478,14 +582,25 @@ class LockManager:
         with self._cond:
             return dict(self._grants.get(resource, {}))
 
-    def waiting(self, resource: Hashable | None = None) -> list[tuple]:
-        """Parked requests, as ``(xid, resource, mode)``, FIFO per key."""
+    def holds_overlapping(self, xid: int, resource: Hashable) -> bool:
+        """Whether *xid* holds any grant that can conflict with *resource*
+        (for a range: any granted overlapping range of the same object)."""
         with self._cond:
-            queues = ([(resource, self._waiters.get(resource, []))]
+            return self._holds_conflictable(xid, resource)
+
+    def waiting(self, resource: Hashable | None = None) -> list[tuple]:
+        """Parked requests, as ``(xid, resource, mode)``, FIFO per queue.
+
+        *resource* may be a plain key, a :class:`RangeResource` (its
+        group's queue is reported), or a range group key directly.
+        """
+        with self._cond:
+            queues = ([(resource, self._waiters.get(_queue_key(resource),
+                                                    []))]
                       if resource is not None
                       else list(self._waiters.items()))
-            return [(w.xid, res, w.mode)
-                    for res, queue in queues for w in queue]
+            return [(w.xid, w.resource, w.mode)
+                    for _res, queue in queues for w in queue]
 
     def grant_table_empty(self) -> bool:
         """Whether no locks are held and no waiters are parked."""

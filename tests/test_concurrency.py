@@ -15,7 +15,8 @@ import time
 import pytest
 
 from repro.db import Database
-from repro.errors import DeadlockError, LockError, TransactionError
+from repro.errors import (DeadlockError, LargeObjectError, LockError,
+                          TransactionError)
 from repro.txn.locks import LockMode
 
 
@@ -140,6 +141,86 @@ class TestInterleavedLargeObjects:
         a.commit()
         b.abort()
         assert fs.listdir("/") == ["from_a"]
+
+
+class TestUnlinkVsOpenDescriptors:
+    """Unlink must not pull relations/files out from under live handles."""
+
+    def test_unlink_chunked_refused_while_reader_open(self, db):
+        """The chunk-relation drop is non-transactional DDL; a lock-free
+        reader in another session must not lose its relations mid-scan."""
+        with db.begin() as txn:
+            designator = db.lo.create(txn, "fchunk")
+            with db.lo.open(designator, txn, "rw") as obj:
+                obj.write(b"still being read")
+        reader_session = db.session()
+        reader_session.begin()
+        reader = reader_session.lo_open(designator)
+        assert reader.read(5) == b"still"
+
+        unlinker = db.session()
+        unlinker.begin()
+        with pytest.raises(LargeObjectError,
+                           match="open descriptor"):
+            unlinker.lo_unlink(designator)
+        unlinker.rollback()
+
+        # The reader is unharmed and, once it closes, unlink succeeds.
+        assert reader.read() == b" being read"
+        reader_session.close()
+        unlinker.begin()
+        unlinker.lo_unlink(designator)
+        unlinker.commit()
+        assert not db.lo.exists(designator)
+
+    def test_unlink_native_refused_while_writer_open(self, db):
+        """A p-file writer flushes straight to the filesystem: unlinking
+        under it would resurrect the file on flush or lose the bytes."""
+        with db.begin() as txn:
+            designator = db.lo.create(txn, "pfile")
+        session = db.session()
+        session.begin()
+        writer = session.lo_open(designator, "rw")
+        writer.write(b"half-written")
+
+        other = db.session()
+        other.begin()
+        with pytest.raises(LargeObjectError, match="open writer"):
+            other.lo_unlink(designator)
+
+        writer.close()
+        other.lo_unlink(designator)
+        other.commit()
+        session.close()
+        assert not db.lo.exists(designator)
+
+    def test_user_closed_handle_deregisters_from_session(self, db):
+        """A handle the user closes early leaves ``Session._objects``:
+        commit does not re-close it, and unlink no longer counts it."""
+        session = db.session()
+        session.begin()
+        designator = session.lo_create("fchunk")
+        handle = session.lo_open(designator, "rw")
+        handle.write(b"brief")
+        handle.close()
+        handle.close()  # double close stays idempotent
+        assert session._objects == []
+        # With the handle deregistered, unlink sees no open descriptor.
+        session.lo_unlink(designator)
+        session.commit()
+        assert not db.lo.exists(designator)
+
+    def test_unlink_own_open_handle_refused(self, db):
+        """Even the owning session cannot unlink under its own handle."""
+        session = db.session()
+        session.begin()
+        designator = session.lo_create("fchunk")
+        handle = session.lo_open(designator, "rw")
+        with pytest.raises(LargeObjectError, match="open descriptor"):
+            session.lo_unlink(designator)
+        handle.close()
+        session.lo_unlink(designator)
+        session.commit()
 
 
 class TestCommitOrderingAndTime:

@@ -45,7 +45,7 @@ def test_worm_archive():
 
 @pytest.mark.parametrize("name", [
     "quickstart.py", "media_library.py", "inversion_shell.py",
-    "worm_archive.py",
+    "worm_archive.py", "server_demo.py",
 ])
 def test_examples_exist_and_are_documented(name):
     path = os.path.join(EXAMPLES_DIR, name)
@@ -60,3 +60,11 @@ def test_archival_history():
     out = run_example("archival_history.py")
     assert "archived 9 dead versions" in out
     assert "integrity check: clean" in out
+
+
+def test_server_demo():
+    out = run_example("server_demo.py")
+    assert "range-lock waits: 0" in out
+    assert "final image byte-exact: True" in out
+    assert "'<client 0>', '<client 1>', '<client 2>', '<client 3>'" in out
+    assert "server demo complete" in out
