@@ -13,7 +13,9 @@ problem descriptions (empty = healthy):
   ``pg_largeobject`` size row, and (v-segment) a byte store covering every
   visible segment;
 * **Inversion**: every live DIRECTORY file row has STORAGE and FILESTAT
-  rows, and storage designators resolve.
+  rows and its designator resolves; no duplicate directory slots or
+  file ids; no orphan FILESTAT/STORAGE rows; every parent id is a live
+  directory; every directory is reachable from the root (no cycles).
 
 The checker only reads; it never repairs.
 """
@@ -182,16 +184,49 @@ class IntegrityChecker:
                     f"the byte store ({ptr}+{clen} > {store_size})")
 
     def _check_inversion(self) -> None:
-        from repro.inversion.filesystem import DIRECTORY, FILESTAT, STORAGE
+        from repro.inversion.filesystem import (DIRECTORY, FILESTAT,
+                                                ROOT_ID, STORAGE)
         if not self.db.class_exists(DIRECTORY):
             return
         snapshot = self.db.snapshot()
         storage_ids = {t.values[0]: t.values[1]
                        for t in self.db.get_class(STORAGE).scan(snapshot)}
-        stat_ids = {t.values[0]
-                    for t in self.db.get_class(FILESTAT).scan(snapshot)}
-        for tup in self.db.get_class(DIRECTORY).scan(snapshot):
-            name, file_id, _parent, kind = tup.values
+        stat_ids: set[int] = set()
+        for tup in self.db.get_class(FILESTAT).scan(snapshot):
+            file_id = tup.values[0]
+            if file_id in stat_ids:
+                self._report(f"inversion FILESTAT: duplicate rows for "
+                             f"id {file_id}")
+            stat_ids.add(file_id)
+        storage_seen: set[int] = set()
+        for tup in self.db.get_class(STORAGE).scan(snapshot):
+            file_id = tup.values[0]
+            if file_id in storage_seen:
+                self._report(f"inversion STORAGE: duplicate rows for "
+                             f"id {file_id}")
+            storage_seen.add(file_id)
+        entries = [t.values
+                   for t in self.db.get_class(DIRECTORY).scan(snapshot)]
+        dir_ids = {ROOT_ID} | {file_id for _n, file_id, _p, kind
+                               in entries if kind == "d"}
+        entry_ids = {file_id for _n, file_id, _p, _k in entries}
+        slots: set[tuple[int, str]] = set()
+        file_ids: set[int] = set()
+        children: dict[int, list[int]] = {}
+        for name, file_id, parent, kind in entries:
+            if (parent, name) in slots:
+                self._report(f"inversion: duplicate entry {name!r} under "
+                             f"directory {parent}")
+            slots.add((parent, name))
+            if file_id in file_ids:
+                self._report(f"inversion {name!r}: file id {file_id} "
+                             f"appears in more than one DIRECTORY row")
+            file_ids.add(file_id)
+            if parent not in dir_ids:
+                self._report(f"inversion {name!r} (id {file_id}): parent "
+                             f"{parent} is not a live directory")
+            elif kind == "d":
+                children.setdefault(parent, []).append(file_id)
             if file_id not in stat_ids:
                 self._report(f"inversion {name!r} (id {file_id}): "
                              f"no FILESTAT row")
@@ -203,3 +238,25 @@ class IntegrityChecker:
                 elif not self.db.lo.exists(designator):
                     self._report(f"inversion file {name!r}: designator "
                                  f"{designator!r} dangles")
+        # Orphans: metadata rows whose file went away without them.
+        for file_id in sorted(stat_ids - entry_ids):
+            self._report(f"inversion FILESTAT: orphan row for id "
+                         f"{file_id} (no DIRECTORY entry)")
+        for file_id in sorted(storage_seen - entry_ids):
+            self._report(f"inversion STORAGE: orphan row for id "
+                         f"{file_id} (no DIRECTORY entry)")
+        # Reachability: every directory must hang off the root.  An
+        # unreachable directory means a rename committed a cycle (the bug
+        # DirectoryLoop now prevents) or a detached subtree.
+        reachable = {ROOT_ID}
+        frontier = [ROOT_ID]
+        while frontier:
+            for child in children.get(frontier.pop(), ()):
+                if child not in reachable:
+                    reachable.add(child)
+                    frontier.append(child)
+        for name, file_id, parent, kind in entries:
+            if kind == "d" and file_id not in reachable \
+                    and parent in dir_ids:
+                self._report(f"inversion directory {name!r} (id {file_id})"
+                             f": unreachable from the root (cycle?)")

@@ -130,6 +130,11 @@ class Database:
         self._inversion: "InversionFileSystem | None" = None
         self._archiver = None
         self._bootstrap()
+        # Crash-recovery sweep: the catalog journal is not transactional,
+        # so a crash mid-create can leave large-object entries whose size
+        # row never committed.  (Only a reopened directory can have any.)
+        if self.catalog.large_objects:
+            self.lo.recover_orphans()
 
     def _register_default_smgrs(self, worm_cache_blocks: int) -> None:
         if self.path is not None:

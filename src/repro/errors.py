@@ -163,6 +163,15 @@ class DirectoryNotEmpty(InversionError):
     """rmdir was called on a non-empty directory."""
 
 
+class DirectoryLoop(InversionError):
+    """rename would move a directory into its own subtree.
+
+    Committing such a rename detaches the subtree from the root — the
+    directory becomes its own ancestor and nothing under it is reachable
+    any more (POSIX rename reports ``EINVAL`` for the same request).
+    """
+
+
 class QueryError(ReproError):
     """Base class for query-language failures."""
 

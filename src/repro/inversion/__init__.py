@@ -2,5 +2,7 @@
 
 from repro.inversion.file import InversionFile
 from repro.inversion.filesystem import InversionFileSystem
+from repro.inversion.monkey import FileMonkey, MonkeyReport
 
-__all__ = ["InversionFileSystem", "InversionFile"]
+__all__ = ["InversionFileSystem", "InversionFile", "FileMonkey",
+           "MonkeyReport"]

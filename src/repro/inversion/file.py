@@ -1,7 +1,11 @@
 """An open Inversion file handle.
 
 Wraps the underlying large object and keeps FILESTAT honest: closing a
-handle that wrote updates the file's modification time.
+handle that read updates the file's access time, closing one that wrote
+updates its modification time (POSIX ``atime``/``mtime`` maintenance).
+Both happen only when the handle is bound to a still-active transaction —
+detached snapshot reads and ``as_of`` time travel must not perturb the
+history they are reading.
 """
 
 from __future__ import annotations
@@ -27,8 +31,10 @@ class InversionFile(LargeObject):
         self.inner = inner
         self.txn = txn
         self._wrote = False
+        self._accessed = False
 
     def _read_at(self, offset: int, nbytes: int) -> bytes:
+        self._accessed = True
         return self.inner._read_at(offset, nbytes)
 
     def _write_at(self, offset: int, data: bytes) -> None:
@@ -42,7 +48,25 @@ class InversionFile(LargeObject):
         self.inner._truncate(size)
         self._wrote = True
 
+    def append(self, data: bytes) -> int:
+        """Write at EOF — delegated, not inherited.
+
+        The base-class fallback is ``seek(0, SEEK_END)`` + ``write``,
+        which computes the EOF *before* any lock is taken; inheriting it
+        here would silently bypass the chunked implementations' atomic
+        append (EOF re-resolved under the range lock), so two appenders
+        through Inversion handles could land on the same stale offset.
+        """
+        self._check_open()
+        written = self.inner.append(data)
+        if written:
+            self._wrote = True
+        self._pos = self.inner.tell()
+        return written
+
     def _close(self) -> None:
         self.inner.close()
-        if self._wrote and self.txn is not None and self.txn.is_active:
-            self.fs._touch_mtime(self.txn, self.file_id)
+        if (self._wrote or self._accessed) and self.txn is not None \
+                and self.txn.is_active:
+            self.fs._file_closed(self.txn, self.file_id,
+                                 self._wrote, self._accessed)

@@ -120,6 +120,13 @@ class FChunkObject(LargeObject):
         self._buf_data = bytearray()
         self._buf_dirty = False
         self._pending_size: int | None = None
+        #: Highest byte-end this transaction itself has written (or the
+        #: exact size its own truncate set).  The committed size can move
+        #: *down* under us (a neighbour's committed truncate), so the
+        #: pending size is re-derived as max(committed, own) — never
+        #: ratcheted monotonically, which would resurrect the pre-cut
+        #: extent and land appends past the new EOF.
+        self._own_high = 0
         # Descriptor-level LRU of decompressed chunks, so streaming reads
         # uncompress each chunk once ("just-in-time" conversion without
         # repeating work for every frame in a chunk) and backward seeks
@@ -174,28 +181,39 @@ class FChunkObject(LargeObject):
 
     # -- range locking / concurrent-commit refresh --------------------------------
 
-    def _refresh_committed(self) -> None:
-        """Fold growth committed by *other* transactions into this
+    def _refresh_committed(self, force: bool = False) -> None:
+        """Fold size changes committed by *other* transactions into this
         writable descriptor's view.
 
         Gated on ``CommitLog.visibility_epoch``: while nothing commits or
         aborts anywhere, this is one integer compare (so single-writer
         runs — including the simulated figure workloads — never pay an
         extra size probe).  When the epoch has moved, the committed size
-        is re-read: the pending size ratchets up to it, the known-TID
-        map and read cache drop entries that a concurrent committer may
-        have retired, and the "chunks at or past here never existed"
-        absence baseline re-anchors to the new committed extent.
+        is re-read: the pending size becomes max(committed, own writes)
+        — both directions, since a neighbour's committed *truncate*
+        legitimately shrinks it — the known-TID map and read cache drop
+        entries that a concurrent committer may have retired, and the
+        "chunks at or past here never existed" absence baseline
+        re-anchors to the new committed extent.
+
+        Once this descriptor holds the whole-object lock, no other
+        transaction can commit a size change (every write path locks a
+        sub-range of ``[0, inf)``), so the fold is skipped and the
+        descriptor's own pending size is authoritative — refreshing
+        would clobber its own in-flight truncate with the stale
+        committed size.  ``force`` is the one-time fold performed while
+        *acquiring* that lock.
         """
         if self._pending_size is None:  # read-only: epoch-keyed memos
             return
+        if self._whole_locked and not force:
+            return
         epoch = self.db.clog.visibility_epoch
-        if epoch == self._commit_epoch:
+        if epoch == self._commit_epoch and not force:
             return
         self._commit_epoch = epoch
         committed = self._read_size(self._snapshot())
-        if committed > self._pending_size:
-            self._pending_size = committed
+        self._pending_size = max(committed, self._own_high)
         if self._known_tids is not None:
             self._known_tids.clear()
             payload = self.chunk_payload
@@ -230,9 +248,11 @@ class FChunkObject(LargeObject):
             return
         self.db.locks.acquire(self.txn.xid, lo_whole(self.oid),
                               LockMode.EXCLUSIVE)
-        self._whole_locked = True
         self._locked.add(0, None)
-        self._refresh_committed()
+        # Fold the committed size one last time, then freeze: while the
+        # whole lock is held nobody else can commit a size change.
+        self._refresh_committed(force=True)
+        self._whole_locked = True
 
     # -- size row ------------------------------------------------------------------
 
@@ -566,6 +586,7 @@ class FChunkObject(LargeObject):
                     bytes(chunk_offset - len(self._buf_data)))
             self._buf_data[chunk_offset:chunk_offset + len(piece)] = piece
             self._buf_dirty = True
+        self._own_high = max(self._own_high, end)
         self._pending_size = max(self._pending_size, end)
 
     def _truncate(self, size: int) -> None:
@@ -577,6 +598,7 @@ class FChunkObject(LargeObject):
         current = self._size()
         if size >= current:
             # Sparse extension: reads zero-fill short/missing chunks.
+            self._own_high = size
             self._pending_size = size
             return
         payload = self.chunk_payload
@@ -604,6 +626,7 @@ class FChunkObject(LargeObject):
                 if self._known_tids is not None:
                     self._known_tids[seqno] = None
         self._read_cache.clear()
+        self._own_high = size
         self._pending_size = size
 
     # -- append ----------------------------------------------------------------------------

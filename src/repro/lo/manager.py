@@ -176,6 +176,34 @@ class LargeObjectManager:
         if self.db.class_exists(name):
             self.db.drop_class(name)
 
+    def recover_orphans(self) -> list[int]:
+        """Drop cataloged large objects whose creating transaction never
+        committed.
+
+        The catalog journal is not transactional: a crash between
+        registering a large object and committing the creating
+        transaction leaves a catalog entry (and empty chunk relations)
+        with no size row ever visible in ``pg_largeobject``.  In-process
+        aborts are compensated by the ``on_abort`` hook installed in
+        :meth:`_register_chunked`; this sweep is the crash-recovery
+        equivalent, run once when a database directory is reopened.
+
+        Safe because the only path that deletes size rows
+        (:meth:`_unlink_chunked`) also drops the catalog entry, so a
+        cataloged oid with no visible size row can only be the residue
+        of an uncommitted create.
+        """
+        sized = {t.values[0] for t in self.db.scan(PG_LARGEOBJECT)}
+        dropped = []
+        for oid in sorted(self.db.catalog.large_objects):
+            if oid in sized:
+                continue
+            if self.db.catalog.large_objects.get(oid) is None:
+                continue  # already swept as a v-segment's byte store
+            self._undo_create(oid)
+            dropped.append(oid)
+        return dropped
+
     def _create_fchunk(self, txn: Transaction, smgr: str | None,
                        compression: str) -> str:
         txn.require_active()

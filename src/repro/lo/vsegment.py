@@ -102,6 +102,9 @@ class VSegmentObject(LargeObject):
         self.index = db.get_index(segment_index_name(oid))
         # Deferred size: materialized at close/commit, like f-chunk's.
         self._pending_size: int | None = None
+        #: Highest byte-end this transaction itself has written (or the
+        #: size its own truncate set) — see f-chunk's ``_own_high``.
+        self._own_high = 0
         # Descriptor-level LRU of decompressed segments (see
         # SEGMENT_CACHE_ENTRIES for why TID keys are safe).
         self._segment_cache: OrderedDict[TID, bytes] = OrderedDict()
@@ -135,23 +138,31 @@ class VSegmentObject(LargeObject):
 
     # -- range locking / concurrent-commit refresh --------------------------------
 
-    def _refresh_committed(self) -> None:
-        """Ratchet the pending size up to the committed size.
+    def _refresh_committed(self, force: bool = False) -> None:
+        """Re-derive the pending size from the committed size.
 
         Epoch-gated like f-chunk's: free while nothing commits anywhere,
         one size probe when something has.  Without this, a writer whose
         neighbour committed an extension would see a stale EOF and
         zero-fill a "gap" right over the neighbour's committed bytes.
+        The fold is max(committed, own writes) in *both* directions — a
+        neighbour's committed truncate legitimately shrinks the size,
+        and ratcheting up only would land appends past the new EOF.
+        Skipped once the whole-object lock is held (nobody else can
+        commit a size change then, and the descriptor's own in-flight
+        truncate must not be clobbered); ``force`` is the one-time fold
+        done while acquiring that lock.
         """
         if self._pending_size is None:
             return
+        if self._whole_locked and not force:
+            return
         epoch = self.db.clog.visibility_epoch
-        if epoch == self._commit_epoch:
+        if epoch == self._commit_epoch and not force:
             return
         self._commit_epoch = epoch
         committed = metadata.read_size(self.db, self.oid, self._snapshot())
-        if committed > self._pending_size:
-            self._pending_size = committed
+        self._pending_size = max(committed, self._own_high)
 
     def _lock_span(self, start: int, end: int) -> None:
         """EXCLUSIVE range lock on ``[start, end)`` padded by SEGMENT_MAX
@@ -174,9 +185,11 @@ class VSegmentObject(LargeObject):
             return
         self.db.locks.acquire(self.txn.xid, lo_whole(self.oid),
                               LockMode.EXCLUSIVE)
-        self._whole_locked = True
         self._locked.add(0, None)
-        self._refresh_committed()
+        # Fold the committed size one last time, then freeze: while the
+        # whole lock is held nobody else can commit a size change.
+        self._refresh_committed(force=True)
+        self._whole_locked = True
 
     def _size(self) -> int:
         if self._pending_size is not None:
@@ -356,6 +369,7 @@ class VSegmentObject(LargeObject):
 
         merged = head + data + tail
         self._append_segments(new_start, merged)
+        self._own_high = max(self._own_high, end)
         self._pending_size = max(self._pending_size, end)
 
     def _append_segments(self, locn: int, data: bytes) -> None:
@@ -385,6 +399,7 @@ class VSegmentObject(LargeObject):
         self._lock_whole()
         current = self._size()
         if size >= current:
+            self._own_high = size
             self._pending_size = size  # sparse: reads zero-fill holes
             return
         # Delete every segment record past the cut; re-append the trimmed
@@ -398,6 +413,7 @@ class VSegmentObject(LargeObject):
             self.db.delete(self.txn, self.relation.name, record.tid)
             if keep:
                 self._append_segments(locn, keep)
+        self._own_high = size
         self._pending_size = size
 
     # -- append ----------------------------------------------------------------------------

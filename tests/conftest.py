@@ -19,6 +19,23 @@ from repro.storage import BufferManager
 from repro.txn import CommitLog, LockManager, TransactionManager
 
 
+def pytest_collection_modifyitems(config, items):
+    """Keep ``monkey``-marked rounds out of the default (tier-1) run.
+
+    Unlike the other markers, which select *extra* CI jobs, the monkey
+    tiers are strictly larger versions of smoke tests that already run
+    unmarked — so under a plain ``pytest`` they are skipped unless the
+    ``-m`` expression mentions the marker explicitly.
+    """
+    markexpr = config.getoption("-m", default="") or ""
+    if "monkey" in markexpr:
+        return
+    skip = pytest.mark.skip(reason="needs -m monkey")
+    for item in items:
+        if "monkey" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture(autouse=True)
 def fail_on_leaked_threads():
     """Fail fast when a test leaves a non-daemon thread running.

@@ -142,6 +142,139 @@ class TestInjectedCorruption:
         assert any("points past" in p for p in problems)
 
 
+class TestInversionCorruption:
+    """The PR-8 additions to ``_check_inversion``: each injected fault
+    must be called out by name."""
+
+    def test_orphan_filestat_detected(self, db):
+        populated(db)
+        with db.begin() as txn:
+            db.insert(txn, "FILESTAT", (99999, "ghost", 0o644,
+                                        0.0, 0.0, 0.0))
+        problems = db.check_integrity()
+        assert any("FILESTAT: orphan row for id 99999" in p
+                   for p in problems)
+
+    def test_orphan_storage_detected(self, db):
+        fchunk, _vseg = populated(db)
+        with db.begin() as txn:
+            db.insert(txn, "STORAGE", (99999, fchunk))
+        problems = db.check_integrity()
+        assert any("STORAGE: orphan row for id 99999" in p
+                   for p in problems)
+
+    def test_duplicate_slot_detected(self, db):
+        populated(db)
+        fs = db.inversion
+        snapshot = db.snapshot()
+        entry = fs._resolve("/home/file", snapshot)
+        with db.begin() as txn:
+            db.insert(txn, "DIRECTORY",
+                      ("file", 99999, entry.parent_id, "f"))
+            db.insert(txn, "FILESTAT", (99999, "x", 0o644, 0.0, 0.0, 0.0))
+        problems = db.check_integrity()
+        assert any("duplicate entry 'file'" in p for p in problems)
+
+    def test_duplicate_file_id_detected(self, db):
+        populated(db)
+        fs = db.inversion
+        snapshot = db.snapshot()
+        entry = fs._resolve("/home/file", snapshot)
+        with db.begin() as txn:
+            db.insert(txn, "DIRECTORY",
+                      ("alias", entry.file_id, entry.parent_id, "f"))
+        problems = db.check_integrity()
+        assert any("more than one DIRECTORY row" in p for p in problems)
+
+    def test_dead_parent_detected(self, db):
+        populated(db)
+        with db.begin() as txn:
+            db.insert(txn, "DIRECTORY", ("lost", 99999, 88888, "f"))
+            db.insert(txn, "FILESTAT", (99999, "x", 0o644, 0.0, 0.0, 0.0))
+        problems = db.check_integrity()
+        assert any("parent 88888 is not a live directory" in p
+                   for p in problems)
+
+    def test_unreachable_cycle_detected(self, db):
+        """Two directories parenting each other, detached from the root
+        — the corruption the rename cycle-check prevents."""
+        populated(db)
+        with db.begin() as txn:
+            db.insert(txn, "DIRECTORY", ("ouro", 70001, 70002, "d"))
+            db.insert(txn, "DIRECTORY", ("boros", 70002, 70001, "d"))
+            for fid in (70001, 70002):
+                db.insert(txn, "FILESTAT", (fid, "x", 0o755,
+                                            0.0, 0.0, 0.0))
+        problems = db.check_integrity()
+        assert any("unreachable from the root" in p for p in problems)
+
+
+class TestCrashOrphanRecovery:
+    """A crash between the (non-transactional) catalog registration and
+    the creating transaction's commit must not leave a phantom large
+    object: reopen sweeps it (LargeObjectManager.recover_orphans)."""
+
+    def _crash_mid_create(self, path, impl):
+        from repro.errors import SimulatedCrash
+        db = Database(path)
+        session = db.session()
+        session.begin()
+        designator = db.lo.create(session.txn, impl)
+        with db.lo.open(designator, session.txn, "rw") as obj:
+            obj.write(b"doomed")
+        db.inject_faults("on append pg_log: crash")
+        with pytest.raises(SimulatedCrash):
+            session.commit()
+        return designator
+
+    @pytest.mark.parametrize("impl", ["fchunk", "vsegment"])
+    def test_reopen_sweeps_uncommitted_create(self, tmp_path, impl):
+        from repro.lo.manager import designator_oid
+        path = str(tmp_path / "db")
+        designator = self._crash_mid_create(path, impl)
+        oid = designator_oid(designator)
+        db = Database(path)  # reopen: recovery sweep runs here
+        assert oid not in db.catalog.large_objects
+        assert db.check_integrity() == []
+        db.close()
+
+    def test_committed_objects_survive_the_sweep(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path)
+        with db.begin() as txn:
+            keeper = db.lo.create(txn, "fchunk")
+            with db.lo.open(keeper, txn, "rw") as obj:
+                obj.write(b"keep me")
+        db.close()
+        self._crash_mid_create(path, "fchunk")
+        db = Database(path)
+        with db.lo.open(keeper) as obj:
+            assert obj.read() == b"keep me"
+        assert db.check_integrity() == []
+        db.close()
+
+    def test_crashed_inversion_create_is_swept(self, tmp_path):
+        from repro.errors import SimulatedCrash
+        path = str(tmp_path / "db")
+        db = Database(path)
+        fs = db.inversion
+        with db.begin() as txn:
+            fs.write_file(txn, "/keep", b"safe")
+        session = db.session()
+        session.begin()
+        with fs.create(session.txn, "/doomed") as handle:
+            handle.write(b"gone")
+        db.inject_faults("on append pg_log: crash")
+        with pytest.raises(SimulatedCrash):
+            session.commit()
+        db = Database(path)
+        fs = db.inversion
+        assert not fs.exists("/doomed")
+        assert fs.read_file("/keep") == b"safe"
+        assert db.check_integrity() == []
+        db.close()
+
+
 class TestPrefetchApi:
     def test_prefetch_populates_pool(self, db):
         db.create_class("T", [("pad", "text")])

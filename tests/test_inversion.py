@@ -348,3 +348,124 @@ class TestImportExport:
         fs.import_tree(txn, str(source), "/")
         txn.abort()
         assert not fs.exists("/a")
+
+
+class TestTimeTravelChains:
+    """Satellite coverage: as_of across rename chains and name reuse."""
+
+    def test_rename_chain_every_epoch_readable(self, db, fs):
+        """A file renamed through several names: at every recorded
+        instant exactly one name resolves, always to the same bytes."""
+        with db.begin() as txn:
+            fs.write_file(txn, "/a", b"chained")
+        chain = ["/a", "/b", "/c", "/d"]
+        stamps = [db.clock.now()]
+        for src, dst in zip(chain, chain[1:]):
+            db.clock.advance(1.0, "think")
+            with db.begin() as txn:
+                fs.rename(txn, src, dst)
+            stamps.append(db.clock.now())
+        for stamp, expected in zip(stamps, chain):
+            for name in chain:
+                if name == expected:
+                    assert fs.read_file(name, as_of=stamp) == b"chained"
+                else:
+                    assert not fs.exists(name, as_of=stamp)
+
+    def test_rename_chain_of_directory_with_contents(self, db, fs):
+        with db.begin() as txn:
+            fs.mkdir(txn, "/d1")
+            fs.write_file(txn, "/d1/f", b"inside")
+        t1 = db.clock.now()
+        with db.begin() as txn:
+            fs.rename(txn, "/d1", "/d2")
+        t2 = db.clock.now()
+        with db.begin() as txn:
+            fs.rename(txn, "/d2", "/d3")
+        assert fs.read_file("/d1/f", as_of=t1) == b"inside"
+        assert fs.read_file("/d2/f", as_of=t2) == b"inside"
+        assert fs.read_file("/d3/f") == b"inside"
+        assert not fs.exists("/d1") and not fs.exists("/d2")
+
+    def test_unlink_recreate_epochs_keep_distinct_files(self, db, fs):
+        """One path, two generations of file: each as_of instant sees
+        the generation (contents, mode, file id) alive at that time."""
+        with db.begin() as txn:
+            fs.create(txn, "/p", mode=0o600).close()
+            fs.write_file(txn, "/p", b"gen one")
+        t1 = db.clock.now()
+        db.clock.advance(1.0, "think")
+        with db.begin() as txn:
+            fs.unlink(txn, "/p")
+        t_gone = db.clock.now()
+        db.clock.advance(1.0, "think")
+        with db.begin() as txn:
+            fs.create(txn, "/p", mode=0o640).close()
+            fs.write_file(txn, "/p", b"gen two")
+        st1 = fs.stat("/p", as_of=t1)
+        st2 = fs.stat("/p")
+        assert fs.read_file("/p", as_of=t1) == b"gen one"
+        assert not fs.exists("/p", as_of=t_gone)
+        assert fs.read_file("/p") == b"gen two"
+        assert st1["file_id"] != st2["file_id"]
+        assert (st1["mode"], st2["mode"]) == (0o600, 0o640)
+
+    def test_unlink_recreate_as_directory(self, db, fs):
+        with db.begin() as txn:
+            fs.write_file(txn, "/p", b"was a file")
+        t1 = db.clock.now()
+        with db.begin() as txn:
+            fs.unlink(txn, "/p")
+            fs.mkdir(txn, "/p")
+            fs.write_file(txn, "/p/child", b"now a dir")
+        assert not fs.is_dir("/p", as_of=t1)
+        assert fs.read_file("/p", as_of=t1) == b"was a file"
+        assert fs.is_dir("/p")
+        assert fs.read_file("/p/child") == b"now a dir"
+
+
+class TestImportExportFidelity:
+    """Satellite coverage: round-trips preserve empty dirs + mode bits."""
+
+    def test_roundtrip_empty_dirs_and_modes(self, db, fs, tmp_path):
+        source = tmp_path / "src"
+        (source / "empty").mkdir(parents=True)
+        (source / "locked").mkdir()
+        (source / "locked" / "secret").write_bytes(b"s3cr3t")
+        (source / "script").write_bytes(b"#!/bin/sh\n")
+        (source / "script").chmod(0o755)
+        (source / "locked" / "secret").chmod(0o600)
+        (source / "locked").chmod(0o700)
+
+        with db.begin() as txn:
+            fs.mkdir(txn, "/in")
+            copied = fs.import_tree(txn, str(source), "/in")
+        assert copied == 2
+        assert fs.is_dir("/in/empty")
+        assert fs.stat("/in/script")["mode"] == 0o755
+        assert fs.stat("/in/locked")["mode"] == 0o700
+        assert fs.stat("/in/locked/secret")["mode"] == 0o600
+
+        target = tmp_path / "out"
+        exported = fs.export_tree("/in", str(target))
+        assert exported == 2
+        assert (target / "empty").is_dir()
+        assert not any((target / "empty").iterdir())
+        assert (target / "script").stat().st_mode & 0o7777 == 0o755
+        assert (target / "locked").stat().st_mode & 0o7777 == 0o700
+        assert (target / "locked" / "secret").read_bytes() == b"s3cr3t"
+        assert (target / "locked" / "secret").stat().st_mode & 0o7777 \
+            == 0o600
+
+    def test_export_restrictive_dir_mode_applied_last(self, db, fs,
+                                                      tmp_path):
+        """A directory exported as r-x must still receive its children:
+        the chmod happens after the subtree is written."""
+        with db.begin() as txn:
+            fs.mkdir(txn, "/ro", mode=0o555)
+            fs.write_file(txn, "/ro/f", b"x")
+        target = tmp_path / "out"
+        fs.export_tree("/", str(target))
+        assert (target / "ro" / "f").read_bytes() == b"x"
+        assert (target / "ro").stat().st_mode & 0o7777 == 0o555
+        (target / "ro").chmod(0o755)  # let pytest clean tmp_path up
