@@ -7,6 +7,7 @@ Examples::
     repro-bench all --scale 0.05     # quick smoke of every figure
     repro-bench claims               # paper-claim checklist (see below)
     repro-bench trajectory --out BENCH_7.json --compare BENCH_6.json
+    repro-bench topology             # sharded throughput vs node count
 """
 
 from __future__ import annotations
@@ -28,6 +29,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "trajectory":
         from repro.bench.trajectory import main as trajectory_main
         return trajectory_main(argv[1:])
+    if argv and argv[0] == "topology":
+        from repro.bench.topology import main as topology_main
+        return topology_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the tables of 'Large Object Support in "

@@ -11,6 +11,8 @@ The fixed suite:
 
 * 10 MB (1 MB in ``--mode smoke``) sequential large-object read and
   write through f-chunk and v-segment, one 4096-byte frame per call;
+* the same f-chunk pass routed through the ``sharded`` storage manager
+  (4 nodes, 3 replicas), tracking replication's Python overhead;
 * page slot ``get``/``put`` micro-benchmarks over :class:`SlottedPage`;
 * batch tuple encode/decode through the schema codec layer;
 * compressor throughput per registered algorithm on a 4096-byte frame;
@@ -199,32 +201,41 @@ def _frames(count: int, generation: int = 0) -> list[bytes]:
             for i in range(count)]
 
 
-def _bench_lo_write(impl: str, object_bytes: int) -> WallResult:
+def _bench_lo_write(impl: str, object_bytes: int,
+                    smgr: str | None = None) -> WallResult:
     frames = _frames(object_bytes // FRAME_SIZE)
     # One shared database: bootstrap (catalog creation) stays outside the
     # timed region, so per-op numbers are comparable across object sizes
     # (smoke vs full).  Each timed repeat writes a brand-new object.
+    # ``smgr`` routes the object through a non-default storage manager
+    # (the ``sharded`` cells track replication's Python overhead).
     db = _fresh_wall_db()
+    prefix = f"{smgr}_" if smgr else ""
 
     def run() -> int:
         with db.begin() as txn:
-            designator = db.lo.create(txn, impl, compression="none")
+            designator = db.lo.create(txn, impl, compression="none",
+                                      smgr=smgr)
             with db.lo.open(designator, txn, "rw") as obj:
                 for frame in frames:
                     obj.write(frame)
         return len(frames)
 
     try:
-        return _measure(f"{impl}_seq_write", run, FRAME_SIZE, repeats=3)
+        return _measure(f"{prefix}{impl}_seq_write", run, FRAME_SIZE,
+                        repeats=3)
     finally:
         db.close()
 
 
-def _bench_lo_read(impl: str, object_bytes: int) -> WallResult:
+def _bench_lo_read(impl: str, object_bytes: int,
+                   smgr: str | None = None) -> WallResult:
     frames = _frames(object_bytes // FRAME_SIZE)
     db = _fresh_wall_db()
+    prefix = f"{smgr}_" if smgr else ""
     with db.begin() as txn:
-        designator = db.lo.create(txn, impl, compression="none")
+        designator = db.lo.create(txn, impl, compression="none",
+                                  smgr=smgr)
         with db.lo.open(designator, txn, "rw") as obj:
             for frame in frames:
                 obj.write(frame)
@@ -239,7 +250,7 @@ def _bench_lo_read(impl: str, object_bytes: int) -> WallResult:
         return len(frames)
 
     try:
-        return _measure(f"{impl}_seq_read", run, FRAME_SIZE,
+        return _measure(f"{prefix}{impl}_seq_read", run, FRAME_SIZE,
                         repeats=3, reset=reset)
     finally:
         db.close()
@@ -417,6 +428,9 @@ def run_suite(mode: str = "full", simulated: bool = True,
         say(f"{impl} sequential write/read")
         record(_bench_lo_write(impl, object_bytes))
         record(_bench_lo_read(impl, object_bytes))
+    say("fchunk over the sharded backend (4 nodes, R=3)")
+    record(_bench_lo_write("fchunk", object_bytes, smgr="sharded"))
+    record(_bench_lo_read("fchunk", object_bytes, smgr="sharded"))
     say("page slot micro-benchmarks")
     record(_bench_page_put())
     record(_bench_page_get())

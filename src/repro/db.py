@@ -47,6 +47,7 @@ from repro.smgr.cache import CachedStorageManager
 from repro.smgr.disk import DiskStorageManager
 from repro.smgr.faulty import FaultInjector
 from repro.smgr.memory import MemoryStorageManager
+from repro.smgr.sharded import sharded_disk_manager, sharded_memory_manager
 from repro.smgr.worm import WormStorageManager
 from repro.storage.buffer import BufferManager
 from repro.txn.locks import LockManager, LockMode
@@ -71,8 +72,28 @@ class Database:
                  mips: float = 15.0, worm_cache_blocks: int = 1024,
                  charge_cpu: bool = True, no_wait: bool = False,
                  lock_timeout: float | None = None,
-                 debug_latch: bool | None = None):
+                 debug_latch: bool | None = None,
+                 faulty_base: str = "disk",
+                 shard_nodes: int = 4, shard_replication: int = 3,
+                 shard_quorum: int | None = None,
+                 shard_placement: str = "range"):
         self.path = path
+        #: Which manager the ``"faulty"`` injector wraps — ``"disk"`` by
+        #: default, ``"sharded"`` to run the crash matrix over the
+        #: replicated backend.  A constructor parameter (not post-hoc
+        #: re-registration) because ``__init__`` itself may open
+        #: large-object relations through the switch (orphan recovery).
+        self._faulty_base = faulty_base
+        #: Default ``"sharded"`` topology: N nodes, R-of-N replication
+        #: (quorum defaults to a majority of R), banded range/hash
+        #: placement.  Reopening a durable database must use the same
+        #: topology parameters.
+        self._shard_config = {
+            "n_nodes": shard_nodes,
+            "replication": shard_replication,
+            "write_quorum": shard_quorum,
+            "placement": shard_placement,
+        }
         self.clock = SimClock()
         self.cpu = CpuModel(mips=mips)
         self.bufmgr = BufferManager(
@@ -152,11 +173,23 @@ class Database:
             "worm", lambda: CachedStorageManager(
                 WormStorageManager(self.clock), self.clock,
                 capacity_blocks=worm_cache_blocks))
-        # Scripted fault injection over the durable manager: relations
-        # created "with storage manager 'faulty'" behave exactly like disk
-        # until a plan is armed (Database.inject_faults).
+        # Scale-out backend: blocks striped over N nodes (each priced as
+        # its own magnetic disk) with R-of-N quorum replication.
+        if self.path is not None:
+            shard_dir = os.path.join(self.path, "shard")
+            self.switch.register(
+                "sharded", lambda: sharded_disk_manager(
+                    shard_dir, self.clock, **self._shard_config))
+        else:
+            self.switch.register(
+                "sharded", lambda: sharded_memory_manager(
+                    self.clock, **self._shard_config))
+        # Scripted fault injection over a durable manager: relations
+        # created "with storage manager 'faulty'" behave exactly like the
+        # wrapped base until a plan is armed (Database.inject_faults).
         self.switch.register(
-            "faulty", lambda: FaultInjector(self.switch.get("disk")))
+            "faulty",
+            lambda: FaultInjector(self.switch.get(self._faulty_base)))
 
     def _bootstrap(self) -> None:
         """Create system classes on first open."""
@@ -579,18 +612,29 @@ class Database:
         """Arm a fault plan (a :class:`~repro.sim.faults.FaultPlan` or plan
         DSL text) over the ``"faulty"`` storage manager and ``pg_log``.
 
+        ``on node <k> [after N]: down|slow|flaky|up`` rules additionally
+        drive node health in the ``"sharded"`` manager, whether it is the
+        faulty wrapper's base or addressed directly.
+
         Returns the armed plan so callers can inspect ``plan.fired``.
         """
         if isinstance(plan, str):
             plan = parse_plan(plan)
         self.switch.get("faulty").arm(plan)
         self.clog.set_fault_plan(plan)
+        if plan.has_node_rules():
+            self.switch.get("sharded").set_node_plan(plan)
         return plan
 
     def clear_faults(self) -> None:
-        """Disarm any fault plan; injected managers become transparent."""
+        """Disarm any fault plan; injected managers become transparent
+        and every storage node returns to healthy."""
         self.switch.get("faulty").disarm()
         self.clog.set_fault_plan(None)
+        for _name, smgr in list(self.switch.items()):
+            clear_node_plan = getattr(smgr, "clear_node_plan", None)
+            if clear_node_plan is not None:
+                clear_node_plan()
 
     def check_integrity(self) -> list[str]:
         """Read-only consistency sweep over every layer.

@@ -49,6 +49,15 @@ class WriteOnceViolation(StorageManagerError):
     """An attempt was made to overwrite an already-written WORM block."""
 
 
+class NodeDownError(StorageManagerError):
+    """A storage node addressed by a block operation is marked down.
+
+    Replicated managers catch this per replica and keep going as long as
+    a quorum survives; single-node managers surface it like any other
+    device error.
+    """
+
+
 class BufferError_(StorageError):
     """The buffer manager could not satisfy a request (pool exhausted...)."""
 

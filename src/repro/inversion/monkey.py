@@ -9,6 +9,14 @@ while an in-memory **oracle** tracks what the tree must contain after
 every *committed* transaction.  The run is fully deterministic given its
 seed (each worker draws from ``random.Random(f"{seed}:{worker}")``).
 
+The mix also interleaves *raw* large-object operations
+(``lo_create``/``lo_write``/``lo_append``/``lo_read``/``lo_truncate``)
+driven straight through ``db.lo``, bypassing the FS naming layer — the
+paper's §4 interface used directly.  The oracle tracks each object's
+bytes by designator, and the as_of sweep replays only the objects that
+existed at each commit point (a chunked object opened before its
+creation instant reads as empty).
+
 Correctness argument.  Every operation runs in its own transaction.  The
 FS layer's heavyweight locks are strict 2PL, so any two transactions
 whose effects conflict are ordered by lock waits; the harness serializes
@@ -78,7 +86,12 @@ DEFAULT_MIX = (
     ("create", 18), ("mkdir", 10), ("write", 14), ("append", 12),
     ("truncate", 5), ("read", 14), ("rename", 8), ("unlink", 8),
     ("rmdir", 4), ("chmod", 4), ("walk", 3),
+    ("lo_create", 4), ("lo_write", 5), ("lo_append", 4),
+    ("lo_read", 5), ("lo_truncate", 2),
 )
+
+#: Ops that pick an existing large-object designator as their target.
+_LO_TARGET_OPS = ("lo_write", "lo_append", "lo_read", "lo_truncate")
 
 _NAMES = tuple(f"n{i}" for i in range(8))
 
@@ -101,6 +114,14 @@ class _Oracle:
         self.data: dict[int, bytes] = {}
         self.modes: dict[int, int] = {}
         self._hash_cache: dict[int, str] = {}
+        #: Raw large objects, designator → bytes (never renamed, never
+        #: unlinked by the mix, so existence is monotone).
+        self.los: dict[str, bytes] = {}
+        #: designator → index of the commit point that created it; the
+        #: as_of sweep replays point *i* against exactly the objects with
+        #: ``created_at <= i``.
+        self.lo_created_at: dict[str, int] = {}
+        self._lo_hash_cache: dict[str, str] = {}
 
     # -- applying committed ops ----------------------------------------------------
 
@@ -161,6 +182,46 @@ class _Oracle:
                 f"rmdir committed on non-empty {path!r}")
         self.modes.pop(self.dirs.pop(path), None)
 
+    # -- raw large objects (by designator: no paths, no renames) -------------------
+
+    def add_lo(self, designator: str, data: bytes, point: int) -> None:
+        if designator in self.los:
+            raise OracleViolation(
+                f"lo_create committed a duplicate designator "
+                f"{designator!r}")
+        self.los[designator] = data
+        self.lo_created_at[designator] = point
+
+    def write_lo(self, designator: str, offset: int, data: bytes) -> None:
+        """POSIX pwrite: a write past EOF zero-fills the hole."""
+        old = self.los.get(designator)
+        if old is None:
+            raise OracleViolation(
+                f"lo_write committed on absent {designator!r}")
+        if not data:
+            return  # a zero-byte write never extends the object
+        pad = bytes(max(0, offset - len(old)))
+        self.los[designator] = (old[:offset] + pad + data
+                                + old[offset + len(data):])
+        self._lo_hash_cache.pop(designator, None)
+
+    def append_lo(self, designator: str, chunk: bytes) -> None:
+        old = self.los.get(designator)
+        if old is None:
+            raise OracleViolation(
+                f"lo_append committed on absent {designator!r}")
+        self.los[designator] = old + chunk
+        self._lo_hash_cache.pop(designator, None)
+
+    def truncate_lo(self, designator: str, size: int) -> None:
+        old = self.los.get(designator)
+        if old is None:
+            raise OracleViolation(
+                f"lo_truncate committed on absent {designator!r}")
+        self.los[designator] = (old[:size]
+                                + bytes(max(0, size - len(old))))
+        self._lo_hash_cache.pop(designator, None)
+
     def rename(self, src: str, dst: str) -> None:
         if src == dst:
             if src not in self.dirs and src not in self.files:
@@ -197,12 +258,24 @@ class _Oracle:
             self._hash_cache[fid] = cached
         return cached
 
+    def _lo_hash(self, designator: str) -> str:
+        cached = self._lo_hash_cache.get(designator)
+        if cached is None:
+            cached = hashlib.sha1(self.los[designator]).hexdigest()
+            self._lo_hash_cache[designator] = cached
+        return cached
+
     def items(self) -> list[tuple[str, str, int, str]]:
-        """Canonical (path, kind, mode, content-hash) rows, sorted."""
+        """Canonical (path, kind, mode, content-hash) rows, sorted.
+
+        Raw large objects ride along as ``(designator, "lo", 0, hash)``
+        rows; designators never collide with absolute paths.
+        """
         rows = [(p, "d", self.modes[fid], "")
                 for p, fid in self.dirs.items()]
         rows += [(p, "f", self.modes[fid], self._content_hash(fid))
                  for p, fid in self.files.items()]
+        rows += [(d, "lo", 0, self._lo_hash(d)) for d in self.los]
         return sorted(rows)
 
     def digest(self) -> str:
@@ -216,6 +289,9 @@ class _Oracle:
         clone.data = dict(self.data)
         clone.modes = dict(self.modes)
         clone._hash_cache = dict(self._hash_cache)
+        clone.los = dict(self.los)
+        clone.lo_created_at = dict(self.lo_created_at)
+        clone._lo_hash_cache = dict(self._lo_hash_cache)
         return clone
 
 
@@ -268,11 +344,16 @@ class FileMonkey:
     def __init__(self, db_factory: Callable[[], "object"], *,
                  seed: int = 0, workers: int = 4, ops: int = 1000,
                  crash_every: int = 0, mix=DEFAULT_MIX,
-                 max_depth: int = 3, replay_sample: int = 25):
+                 max_depth: int = 3, replay_sample: int = 25,
+                 lo_smgr: str | None = None):
         if crash_every and workers != 1:
             raise ValueError("crash injection needs workers=1 "
                              "(a crash kills the whole process)")
         self.db_factory = db_factory
+        #: Storage manager the raw lo_create ops route through (None =
+        #: the database default) — the shard stress points this at
+        #: ``"sharded"`` to churn large objects across nodes.
+        self.lo_smgr = lo_smgr
         self.seed = seed
         self.workers = workers
         self.ops = ops
@@ -305,6 +386,10 @@ class FileMonkey:
     def _pick_file(self, rng: random.Random) -> str | None:
         files = sorted(self.oracle.files)
         return rng.choice(files) if files else None
+
+    def _pick_lo(self, rng: random.Random) -> str | None:
+        los = sorted(self.oracle.los)
+        return rng.choice(los) if los else None
 
     def _new_path(self, rng: random.Random) -> str:
         base = self._pick_dir(rng)
@@ -339,6 +424,24 @@ class FileMonkey:
                     elif op == "chmod":
                         args["mode"] = rng.choice(
                             (0o600, 0o640, 0o644, 0o755))
+                    return op, args
+                if op == "lo_create":
+                    return op, {"data": self._payload(rng)}
+                if op in _LO_TARGET_OPS:
+                    des = self._pick_lo(rng)
+                    if des is None:
+                        continue
+                    args = {"des": des}
+                    if op == "lo_write":
+                        # Offsets may land past EOF: POSIX pwrite
+                        # zero-fills the hole, and so must the engine.
+                        args["offset"] = rng.randrange(
+                            0, len(self.oracle.los[des]) + 256)
+                        args["data"] = self._payload(rng)
+                    elif op == "lo_append":
+                        args["data"] = self._payload(rng)
+                    elif op == "lo_truncate":
+                        args["size"] = rng.randrange(0, 4096)
                     return op, args
                 if op in ("create", "mkdir"):
                     return op, {"path": self._new_path(rng),
@@ -430,6 +533,41 @@ class FileMonkey:
         if op == "rename":
             fs.rename(txn, args["src"], args["dst"])
             return lambda: self.oracle.rename(args["src"], args["dst"])
+        if op == "lo_create":
+            des = self.db.lo.create(txn, impl="fchunk",
+                                    smgr=self.lo_smgr)
+            with self.db.lo.open(des, txn, "rw") as obj:
+                obj.write(args["data"])
+            # len(self._points) at apply time is the index of the commit
+            # point about to be recorded for this very op.
+            return lambda: self.oracle.add_lo(
+                des, args["data"], len(self._points))
+        if op == "lo_write":
+            with self.db.lo.open(args["des"], txn, "rw") as obj:
+                obj.seek(args["offset"])
+                obj.write(args["data"])
+            return lambda: self.oracle.write_lo(
+                args["des"], args["offset"], args["data"])
+        if op == "lo_append":
+            with self.db.lo.open(args["des"], txn, "rw") as obj:
+                obj.append(args["data"])
+            return lambda: self.oracle.append_lo(
+                args["des"], args["data"])
+        if op == "lo_truncate":
+            with self.db.lo.open(args["des"], txn, "rw") as obj:
+                obj.truncate(args["size"])
+            return lambda: self.oracle.truncate_lo(
+                args["des"], args["size"])
+        if op == "lo_read":
+            with self.db.lo.open(args["des"], txn, "r") as obj:
+                data = obj.read()
+            if self.workers == 1:
+                expected = self.oracle.los.get(args["des"])
+                if expected is not None and data != expected:
+                    raise OracleViolation(
+                        f"lo_read {args['des']!r}: got {len(data)} "
+                        f"bytes, oracle has {len(expected)}")
+            return lambda: None
         for _ in fs.walk("/", txn):
             pass
         return lambda: None
@@ -541,7 +679,10 @@ class FileMonkey:
             attempt_digest = None
         finally:
             self.oracle = saved
-        actual = self._tree_digest()
+        # Probe the attempt's designator set (a superset of saved's): an
+        # in-doubt lo_create's object is only visible if its designator
+        # is among the candidates.
+        actual = self._tree_digest(lo_candidates=attempt.lo_created_at)
         if actual == without:
             pass  # the crash beat the commit record: op lost
         elif attempt_digest is not None and actual == attempt_digest:
@@ -557,7 +698,39 @@ class FileMonkey:
 
     # -- sweeps --------------------------------------------------------------------
 
-    def _tree_items(self, as_of: float | None = None
+    def _lo_items(self, as_of: float | None = None,
+                  lo_point: int | None = None,
+                  lo_candidates: dict[str, int] | None = None
+                  ) -> list[tuple[str, str, int, str]]:
+        """(designator, "lo", 0, hash) rows read back from the engine.
+
+        Candidates default to every designator the oracle ever saw
+        created; ``lo_point`` keeps only objects whose creating commit is
+        at or before that commit-point index (for as_of replay — a
+        chunked object opened before its creation reads empty, which
+        must not leak into the digest).  Live probes skip designators the
+        engine no longer has, so a loss shows up as an oracle diff.
+        """
+        if lo_candidates is None:
+            lo_candidates = self.oracle.lo_created_at
+        rows: list[tuple[str, str, int, str]] = []
+        for des, created in sorted(lo_candidates.items()):
+            if lo_point is not None and created > lo_point:
+                continue
+            if as_of is None and not self.db.lo.exists(des):
+                continue
+            try:
+                with self.db.lo.open(des, None, "r", as_of=as_of) as obj:
+                    data = obj.read()
+            except ReproError:
+                continue
+            rows.append((des, "lo", 0,
+                         hashlib.sha1(data).hexdigest()))
+        return rows
+
+    def _tree_items(self, as_of: float | None = None,
+                    lo_point: int | None = None,
+                    lo_candidates: dict[str, int] | None = None
                     ) -> list[tuple[str, str, int, str]]:
         rows: list[tuple[str, str, int, str]] = []
         for current, dirs, files in self.fs.walk("/", as_of=as_of):
@@ -572,11 +745,15 @@ class FileMonkey:
                 rows.append((path, "f",
                              self.fs.stat(path, as_of=as_of)["mode"],
                              hashlib.sha1(data).hexdigest()))
+        rows.extend(self._lo_items(as_of, lo_point, lo_candidates))
         return sorted(rows)
 
-    def _tree_digest(self, as_of: float | None = None) -> str:
+    def _tree_digest(self, as_of: float | None = None,
+                     lo_point: int | None = None,
+                     lo_candidates: dict[str, int] | None = None) -> str:
         return hashlib.sha1(
-            repr(self._tree_items(as_of)).encode()).hexdigest()
+            repr(self._tree_items(as_of, lo_point,
+                                  lo_candidates)).encode()).hexdigest()
 
     def _sweep(self) -> None:
         tree = self._tree_items()
@@ -599,7 +776,7 @@ class FileMonkey:
                     f"as_of replay: commit point {i} unreadable: {exc}")
                 continue
             if i % self.replay_sample == 0 or i == len(self._points) - 1:
-                found = self._tree_digest(as_of=t)
+                found = self._tree_digest(as_of=t, lo_point=i)
                 if found != digest:
                     self.report.problems.append(
                         f"as_of replay: commit point {i} (t={t}) does "

@@ -128,9 +128,10 @@ class ServerClient:
     # -- large objects -----------------------------------------------------------
 
     def lo_create(self, impl: str = "fchunk",
-                  compression: str = "none") -> str:
+                  compression: str = "none",
+                  smgr: str | None = None) -> str:
         header, _ = self._call("lo_create", impl=impl,
-                               compression=compression)
+                               compression=compression, smgr=smgr)
         return header["designator"]
 
     def lo_unlink(self, designator: str) -> None:

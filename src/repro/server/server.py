@@ -235,6 +235,7 @@ class ReproServer:
         if cmd == "lo_create":
             designator = session.lo_create(
                 header.get("impl", "fchunk"),
+                smgr=header.get("smgr"),
                 compression=header.get("compression", "none"))
             return {"designator": designator}, b""
         if cmd == "lo_unlink":

@@ -96,11 +96,17 @@ class DevicePort:
         self.writes = 0
         self.seeks = 0
         self.platter_switches = 0
+        #: Simulated seconds this device spent servicing its own accesses.
+        #: The shared clock sums every device; ``busy_s`` is what lets a
+        #: multi-node topology report its critical path (the busiest
+        #: device), which is the number parallel clients actually wait on.
+        self.busy_s = 0.0
 
     def _position(self, fileid: str, offset: int, nbytes: int,
-                  is_write: bool) -> None:
+                  is_write: bool) -> float:
         sequential = self._head == (fileid, offset)
         crossed = False
+        charged = 0.0
         if self.model.platter_bytes:
             platter = offset // self.model.platter_bytes
             crossed = self._platter is not None and platter != self._platter
@@ -110,34 +116,49 @@ class DevicePort:
             # stream is logically sequential — the robot arm moves anyway.
             self.platter_switches += 1
             self.clock.advance(self.model.platter_switch_s, "io.seek")
+            charged += self.model.platter_switch_s
         if not sequential:
             self.seeks += 1
-            self.clock.advance(self.model.avg_seek_s
-                               + self.model.rotational_s, "io.seek")
+            positioning = self.model.avg_seek_s + self.model.rotational_s
+            self.clock.advance(positioning, "io.seek")
+            charged += positioning
         transfer = nbytes / self.model.transfer_bytes_per_s
         if is_write:
             transfer *= self.model.write_penalty
         self.clock.advance(
             transfer, "io.write" if is_write else "io.read")
+        charged += transfer
         self._head = (fileid, offset + nbytes)
+        self.busy_s += charged
+        return charged
 
-    def charge_read(self, fileid: str, offset: int, nbytes: int) -> None:
-        """Charge one read of *nbytes* at *offset* within file *fileid*."""
+    def charge_read(self, fileid: str, offset: int, nbytes: int) -> float:
+        """Charge one read of *nbytes* at *offset* within file *fileid*.
+
+        Returns the seconds charged, so callers modelling degraded devices
+        (a slow storage node) can scale the penalty off the real cost.
+        """
         self.reads += 1
-        self._position(fileid, offset, nbytes, is_write=False)
+        return self._position(fileid, offset, nbytes, is_write=False)
 
-    def charge_write(self, fileid: str, offset: int, nbytes: int) -> None:
+    def charge_write(self, fileid: str, offset: int, nbytes: int) -> float:
         """Charge one write of *nbytes* at *offset* within file *fileid*."""
         self.writes += 1
-        self._position(fileid, offset, nbytes, is_write=True)
+        return self._position(fileid, offset, nbytes, is_write=True)
 
-    def stats(self) -> dict[str, int]:
+    def charge_extra(self, seconds: float, category: str) -> None:
+        """Charge extra service time (degraded-mode penalties)."""
+        self.clock.advance(seconds, category)
+        self.busy_s += seconds
+
+    def stats(self) -> dict[str, int | float]:
         """Access counters for benchmark breakdowns."""
         return {
             "reads": self.reads,
             "writes": self.writes,
             "seeks": self.seeks,
             "platter_switches": self.platter_switches,
+            "busy_s": self.busy_s,
         }
 
 

@@ -14,18 +14,25 @@ Plans are built from :class:`FaultRule` objects or parsed from a one-line
     on write  heap_lo_17*      after 1:  torn 512
     on sync   *:                         error
     on append pg_log:                    crash
+    on node   node1            after 40: down
 
-* ``op`` is one of ``read`` / ``write`` / ``sync`` (storage-manager calls)
-  or ``append`` (a ``pg_log`` record write).
+* ``op`` is one of ``read`` / ``write`` / ``sync`` (storage-manager calls),
+  ``append`` (a ``pg_log`` record write), or ``node`` (a health transition
+  of one storage node in a multi-node manager).
 * the file pattern is an :mod:`fnmatch` glob over the relation file id
-  (``pg_log`` for appends).
-* ``after N`` lets the first *N* matching operations through unharmed.
+  (``pg_log`` for appends, the node id for ``node`` rules).
+* ``after N`` lets the first *N* matching operations through unharmed
+  (for ``node`` rules: the node's first *N* block accesses — which is how
+  a node gets killed *mid*-workload).
 * the action is ``error`` (raise :class:`StorageManagerError`; the process
   survives and the transaction manager aborts the transaction), ``crash``
   (raise :class:`SimulatedCrash` with nothing persisted), or ``torn N``
   (persist only the first *N* bytes of the payload, then crash — a torn
   page or torn log record, the signature failure of *To BLOB or Not To
-  BLOB*'s write-path fault tests).
+  BLOB*'s write-path fault tests).  ``node`` rules instead take a health
+  state — ``down`` / ``slow`` / ``flaky`` / ``up`` — applied to the
+  matching node; they never raise by themselves (the node's own gate does
+  the raising, and a replicated manager absorbs it replica by replica).
 
 After a ``crash``/``torn`` rule fires the plan is **halted**: any further
 guarded operation raises :class:`SimulatedCrash` immediately, because a
@@ -42,10 +49,13 @@ from fnmatch import fnmatchcase
 from repro.errors import SimulatedCrash, StorageManagerError
 
 #: Operations a rule may guard.
-FAULT_OPS = ("read", "write", "sync", "append")
+FAULT_OPS = ("read", "write", "sync", "append", "node")
 
-#: Actions a rule may take when it fires.
+#: Actions an I/O rule may take when it fires.
 FAULT_ACTIONS = ("error", "crash", "torn")
+
+#: Health states a ``node`` rule may put a storage node in.
+NODE_ACTIONS = ("down", "slow", "flaky", "up")
 
 
 @dataclass
@@ -69,7 +79,12 @@ class FaultRule:
         if self.op not in FAULT_OPS:
             raise ValueError(
                 f"unknown fault op {self.op!r} (have: {FAULT_OPS})")
-        if self.action not in FAULT_ACTIONS:
+        if self.op == "node":
+            if self.action not in NODE_ACTIONS:
+                raise ValueError(
+                    f"unknown node action {self.action!r} "
+                    f"(have: {NODE_ACTIONS})")
+        elif self.action not in FAULT_ACTIONS:
             raise ValueError(
                 f"unknown fault action {self.action!r} "
                 f"(have: {FAULT_ACTIONS})")
@@ -122,6 +137,35 @@ class FaultPlan:
             if firing is None and rule.seen > rule.after:
                 firing = rule
         return firing
+
+    def check_node(self, node_id: str) -> FaultRule | None:
+        """The node rule governing this node access, or ``None``.
+
+        Unlike :meth:`check`, the *last* eligible rule wins: a plan can
+        script a transition sequence — ``on node n0: down`` followed by
+        ``on node n0 after 6: up`` — and the later rule overrides the
+        earlier one once its budget is spent.
+        """
+        if self.halted:
+            raise SimulatedCrash(
+                f"node {node_id!r} access after a simulated crash "
+                f"(the harness should have reopened the database)")
+        firing = None
+        for rule in self.rules:
+            if rule.op != "node" or not rule.matches("node", node_id):
+                continue
+            rule.seen += 1
+            if rule.seen > rule.after:
+                firing = rule
+        return firing
+
+    def has_node_rules(self) -> bool:
+        """Whether any rule targets storage-node health (``on node …``)."""
+        return any(rule.op == "node" for rule in self.rules)
+
+    def note(self, detail: str) -> None:
+        """Record a fault delivered without raising (node transitions)."""
+        self.fired.append(detail)
 
     def fire(self, rule: FaultRule, detail: str) -> None:
         """Deliver *rule*'s fault (always raises).

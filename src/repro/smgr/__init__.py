@@ -6,33 +6,57 @@ modelled on the UNIX file-system switch: a small table of interface routines
 register a new manager, and — because large objects and Inversion files are
 ordinary relations — every new manager automatically supports them (§10).
 
-Three managers ship with this reproduction, matching POSTGRES Version 4:
+Managers are built from a node-addressed layer (:mod:`repro.smgr.base`):
+raw :class:`BlockStore` containers behind :class:`StorageNode` instances
+(each with its own device cost model and failure state), routed by a
+:class:`PlacementPolicy`.  The registrations shipped with this
+reproduction:
 
-* ``"disk"``  — local magnetic disk, a thin veneer over OS files;
-* ``"memory"`` — non-volatile main memory;
-* ``"worm"``  — a write-once optical-disk jukebox, fronted by a
-  magnetic-disk block cache (see :mod:`repro.smgr.cache`).
-
-A fourth registration, ``"faulty"`` (:mod:`repro.smgr.faulty`), wraps the
-``"disk"`` manager with scripted fault injection — the crash-recovery
-harness routes relations through it to break commits at exact points.
+* ``"disk"``   — local magnetic disk, a single-node veneer over OS files;
+* ``"memory"`` — non-volatile main memory, single-node;
+* ``"worm"``   — a write-once optical-disk jukebox, fronted by a
+  magnetic-disk block cache (see :mod:`repro.smgr.cache`);
+* ``"sharded"`` — blocks striped across N simulated nodes with R-of-N
+  quorum replication, read-repair, and rebalancing
+  (:mod:`repro.smgr.sharded`);
+* ``"faulty"`` (:mod:`repro.smgr.faulty`) — wraps another manager with
+  scripted fault injection; the crash-recovery harness routes relations
+  through it to break commits at exact points.
 """
 
-from repro.smgr.base import StorageManager, StorageManagerSwitch
+from repro.smgr.base import (BlockStore, DiskBlockStore, HashPlacement,
+                             MemoryBlockStore, NodeAddressedManager,
+                             PlacementPolicy, RangePlacement,
+                             SingleNodePlacement, StorageManager,
+                             StorageManagerSwitch, StorageNode)
 from repro.smgr.cache import CachedStorageManager
 from repro.smgr.disk import DiskStorageManager
 from repro.smgr.faulty import FaultInjector
 from repro.smgr.memory import MemoryStorageManager
 from repro.smgr.raw import RawWormDevice
+from repro.smgr.sharded import (ShardedStorageManager, sharded_disk_manager,
+                                sharded_memory_manager)
 from repro.smgr.worm import WormStorageManager
 
 __all__ = [
     "StorageManager",
     "StorageManagerSwitch",
+    "BlockStore",
+    "MemoryBlockStore",
+    "DiskBlockStore",
+    "StorageNode",
+    "PlacementPolicy",
+    "SingleNodePlacement",
+    "HashPlacement",
+    "RangePlacement",
+    "NodeAddressedManager",
     "DiskStorageManager",
     "MemoryStorageManager",
     "WormStorageManager",
     "CachedStorageManager",
+    "ShardedStorageManager",
+    "sharded_memory_manager",
+    "sharded_disk_manager",
     "FaultInjector",
     "RawWormDevice",
 ]

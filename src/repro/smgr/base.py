@@ -1,4 +1,4 @@
-"""Storage-manager abstraction and the table-driven switch.
+"""Storage-manager abstraction, the node-addressed layer, and the switch.
 
 A storage manager exposes block-oriented access to named relation files.
 Blocks are exactly :data:`~repro.storage.constants.PAGE_SIZE` bytes.  The
@@ -6,25 +6,423 @@ abstraction is deliberately small — the paper calls it "a clean table-driven
 interface … any user can define a new storage manager by writing and
 registering a small set of interface routines."
 
+Physical placement is a first-class concern here, split across three
+pieces:
+
+* a :class:`BlockStore` is a raw, *sparse* block container (process memory
+  or one directory of OS files) with no cost model and no failure model;
+* a :class:`StorageNode` pairs one store with its own
+  :class:`~repro.sim.devices.DeviceModel`/:class:`~repro.sim.devices.DevicePort`
+  (so each node has an independent disk head and busy-time accumulator)
+  and an independent failure state (``up``/``down``/``slow``/``flaky``);
+* a :class:`PlacementPolicy` maps ``(fileid, blockno)`` to an R-of-N
+  replica set of node positions — single-node, hash-banded, or
+  range-banded sharding.
+
+:class:`NodeAddressedManager` composes the three into a manager.  The
+classic ``disk`` and ``memory`` managers are trivial single-node instances
+of it; :mod:`repro.smgr.sharded` builds the replicated multi-node manager
+on the same parts.
+
 All managers charge their physical accesses to a shared
-:class:`~repro.sim.clock.SimClock` through a
-:class:`~repro.sim.devices.DevicePort`, so benchmark elapsed times reflect
-each device's cost model.
+:class:`~repro.sim.clock.SimClock` through their nodes' ports, so benchmark
+elapsed times reflect each device's cost model.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import zlib
 from abc import ABC, abstractmethod
 from typing import Callable, Iterator
 
-from repro.errors import StorageManagerError
+from repro.errors import NodeDownError, StorageManagerError
 from repro.sim.clock import SimClock
 from repro.sim.devices import DeviceModel, DevicePort
 from repro.storage.constants import PAGE_SIZE
 
+#: Monotone source for per-instance manager identities (never reused, so a
+#: replaced manager can never alias a live one the way ``id()`` could).
+_SMGR_SEQ = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# Raw block containers
+# ---------------------------------------------------------------------------
+
+class BlockStore(ABC):
+    """A raw block container: bytes at ``(fileid, blockno)``, nothing else.
+
+    Stores charge no simulated cost and enforce no density: a write at any
+    non-negative block number succeeds, and :meth:`nblocks` reports one
+    past the highest block ever written.  The "no holes" contract of the
+    manager API is enforced one level up, which is what lets a sharded
+    manager keep only its own slice of a file on each node's store.
+    """
+
+    @abstractmethod
+    def create(self, fileid: str) -> None:
+        """Create an empty file.  Idempotent."""
+
+    @abstractmethod
+    def exists(self, fileid: str) -> bool:
+        """Whether the file exists."""
+
+    @abstractmethod
+    def unlink(self, fileid: str) -> None:
+        """Remove the file and its blocks."""
+
+    @abstractmethod
+    def nblocks(self, fileid: str) -> int:
+        """One past the highest block written (0 for a fresh file)."""
+
+    @abstractmethod
+    def read(self, fileid: str, blockno: int) -> bytearray:
+        """The block's bytes; holes inside the store read as zeros."""
+
+    @abstractmethod
+    def write(self, fileid: str, blockno: int, data: bytes) -> None:
+        """Store the block (sparse: any non-negative *blockno*)."""
+
+    def discard(self, fileid: str, blockno: int) -> None:
+        """Forget one block if the medium supports it (rebalance cleanup)."""
+
+    def sync(self, fileid: str) -> None:
+        """Force the file to stable storage."""
+
+    def files(self) -> list[str]:
+        """File ids present on this store (best effort, for maintenance)."""
+        return []
+
+    def close(self) -> None:
+        """Release OS resources (file handles)."""
+
+
+class MemoryBlockStore(BlockStore):
+    """Blocks in process memory: ``{fileid: {blockno: bytearray}}``."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, dict[int, bytearray]] = {}
+
+    def _blocks(self, fileid: str) -> dict[int, bytearray]:
+        if fileid not in self._files:
+            raise StorageManagerError(
+                f"relation file {fileid!r} does not exist")
+        return self._files[fileid]
+
+    def create(self, fileid: str) -> None:
+        self._files.setdefault(fileid, {})
+
+    def exists(self, fileid: str) -> bool:
+        return fileid in self._files
+
+    def unlink(self, fileid: str) -> None:
+        self._files.pop(fileid, None)
+
+    def nblocks(self, fileid: str) -> int:
+        blocks = self._blocks(fileid)
+        return max(blocks) + 1 if blocks else 0
+
+    def read(self, fileid: str, blockno: int) -> bytearray:
+        block = self._blocks(fileid).get(blockno)
+        if block is None:
+            return bytearray(PAGE_SIZE)
+        return bytearray(block)
+
+    def write(self, fileid: str, blockno: int, data: bytes) -> None:
+        self._blocks(fileid)[blockno] = bytearray(data)
+
+    def discard(self, fileid: str, blockno: int) -> None:
+        self._files.get(fileid, {}).pop(blockno, None)
+
+    def sync(self, fileid: str) -> None:
+        self._blocks(fileid)  # validate existence; memory is always durable
+
+    def files(self) -> list[str]:
+        return sorted(self._files)
+
+
+def _safe_name(fileid: str) -> str:
+    """Map a relation file id to a safe on-disk file name."""
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in fileid)
+
+
+class DiskBlockStore(BlockStore):
+    """Blocks in ordinary OS files, one ``<safe_name>.rel`` per file.
+
+    Writes seek to ``blockno * PAGE_SIZE`` unconditionally, so a store
+    holding only a shard of a file is simply sparse — the OS materializes
+    the holes as zeros and :meth:`nblocks` still lands on the true tail.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._handles: dict[str, object] = {}
+
+    def _path(self, fileid: str) -> str:
+        return os.path.join(self.directory, _safe_name(fileid) + ".rel")
+
+    def _open(self, fileid: str):
+        handle = self._handles.get(fileid)
+        if handle is None or handle.closed:
+            path = self._path(fileid)
+            if not os.path.exists(path):
+                raise StorageManagerError(
+                    f"relation file {fileid!r} does not exist")
+            handle = open(path, "r+b")
+            self._handles[fileid] = handle
+        return handle
+
+    def create(self, fileid: str) -> None:
+        path = self._path(fileid)
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+
+    def exists(self, fileid: str) -> bool:
+        return os.path.exists(self._path(fileid))
+
+    def unlink(self, fileid: str) -> None:
+        handle = self._handles.pop(fileid, None)
+        if handle is not None and not handle.closed:
+            handle.close()
+        path = self._path(fileid)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def nblocks(self, fileid: str) -> int:
+        path = self._path(fileid)
+        if not os.path.exists(path):
+            raise StorageManagerError(
+                f"relation file {fileid!r} does not exist")
+        return os.path.getsize(path) // PAGE_SIZE
+
+    def read(self, fileid: str, blockno: int) -> bytearray:
+        handle = self._open(fileid)
+        handle.seek(blockno * PAGE_SIZE)
+        data = bytearray(handle.read(PAGE_SIZE))
+        if len(data) < PAGE_SIZE:  # sparse tail
+            data.extend(bytes(PAGE_SIZE - len(data)))
+        return data
+
+    def write(self, fileid: str, blockno: int, data: bytes) -> None:
+        handle = self._open(fileid)
+        handle.seek(blockno * PAGE_SIZE)
+        handle.write(data)
+
+    def sync(self, fileid: str) -> None:
+        handle = self._handles.get(fileid)
+        if handle is not None and not handle.closed:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def files(self) -> list[str]:
+        # Safe names are identical to the file id for every id the engine
+        # generates (heap_*/btree_*/lo_*); ids needing escaping must be
+        # passed to maintenance entry points explicitly.
+        return sorted(entry[:-len(".rel")]
+                      for entry in os.listdir(self.directory)
+                      if entry.endswith(".rel"))
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            if not handle.closed:
+                handle.close()
+        self._handles.clear()
+
+
+# ---------------------------------------------------------------------------
+# Storage nodes
+# ---------------------------------------------------------------------------
+
+#: Failure states a node can be put in (the fault DSL's node actions).
+NODE_STATES = ("up", "down", "slow", "flaky")
+
+
+class StorageNode:
+    """One storage node: a block store, its own device, its own health.
+
+    Each node owns a :class:`~repro.sim.devices.DevicePort`, so it has an
+    independent head position (interleaving two nodes stays sequential on
+    both) and an independent ``busy_s`` accumulator (the critical-path
+    number a multi-node topology reports).  The failure state models what
+    the fault DSL's ``on node <k>: …`` rules inject:
+
+    * ``down``  — every access raises :class:`~repro.errors.NodeDownError`;
+    * ``slow``  — accesses succeed but charge ``slow_factor×`` the cost;
+    * ``flaky`` — every ``flaky_every``-th access raises a device error;
+    * ``up``    — healthy.
+    """
+
+    def __init__(self, node_id: str, store: BlockStore, model: DeviceModel,
+                 clock: SimClock, port: DevicePort | None = None,
+                 slow_factor: float = 4.0, flaky_every: int = 3):
+        self.node_id = node_id
+        self.store = store
+        self.model = model
+        self.clock = clock
+        self.port = port if port is not None else DevicePort(model, clock)
+        self.state = "up"
+        self.slow_factor = slow_factor
+        self.flaky_every = max(1, flaky_every)
+        self._ops = 0
+        #: Accesses refused (down) or dropped (flaky) by this node.
+        self.errors = 0
+
+    def set_state(self, state: str) -> bool:
+        """Set the failure state; returns True when it actually changed."""
+        if state not in NODE_STATES:
+            raise ValueError(
+                f"unknown node state {state!r} (have: {NODE_STATES})")
+        changed = state != self.state
+        self.state = state
+        return changed
+
+    def _gate(self, op: str, fileid: str, blockno: int) -> None:
+        if self.state == "down":
+            self.errors += 1
+            raise NodeDownError(
+                f"node {self.node_id!r} is down "
+                f"({op} {fileid!r} block {blockno})")
+        self._ops += 1
+        if self.state == "flaky" and self._ops % self.flaky_every == 0:
+            self.errors += 1
+            raise StorageManagerError(
+                f"flaky node {self.node_id!r} dropped {op} of "
+                f"{fileid!r} block {blockno}")
+
+    def read(self, fileid: str, blockno: int) -> bytearray:
+        """Read one block, charging this node's device."""
+        self._gate("read", fileid, blockno)
+        data = self.store.read(fileid, blockno)
+        charged = self.port.charge_read(
+            fileid, blockno * PAGE_SIZE, PAGE_SIZE)
+        if self.state == "slow":
+            self.port.charge_extra(
+                charged * (self.slow_factor - 1.0), "io.read")
+        return data
+
+    def write(self, fileid: str, blockno: int, data: bytes) -> None:
+        """Write one block, charging this node's device."""
+        self._gate("write", fileid, blockno)
+        self.store.write(fileid, blockno, data)
+        charged = self.port.charge_write(
+            fileid, blockno * PAGE_SIZE, PAGE_SIZE)
+        if self.state == "slow":
+            self.port.charge_extra(
+                charged * (self.slow_factor - 1.0), "io.write")
+
+    def stats(self) -> dict:
+        """Per-node counters for ``db.statistics()["storage"]``."""
+        return {**self.port.stats(),
+                "state": self.state,
+                "errors": self.errors}
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+
+def stable_hash(text: str) -> int:
+    """A placement hash that survives process restarts.
+
+    Python's builtin ``hash`` is salted per process, which would scatter a
+    reopened database's blocks onto different nodes than the ones that
+    hold them — placement must use a deterministic digest.
+    """
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class PlacementPolicy(ABC):
+    """Maps ``(fileid, blockno)`` to an ordered replica set of nodes.
+
+    Replicas are returned as *positions* into the manager's active-node
+    list (position 0 is the primary), so policies stay oblivious to node
+    identity and to retired nodes.
+    """
+
+    #: Copies kept of every block (R in R-of-N).
+    replication = 1
+
+    @abstractmethod
+    def replicas(self, fileid: str, blockno: int,
+                 n_nodes: int) -> tuple[int, ...]:
+        """Ordered, duplicate-free node positions for this block."""
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(replication={self.replication})"
+
+
+class SingleNodePlacement(PlacementPolicy):
+    """Everything on node 0 — the classic one-device manager."""
+
+    def replicas(self, fileid: str, blockno: int,
+                 n_nodes: int) -> tuple[int, ...]:
+        return (0,)
+
+
+class _BandedPlacement(PlacementPolicy):
+    """Shared machinery: place *bands* of consecutive blocks, not blocks.
+
+    Scattering consecutive blocks across nodes round-robin would make
+    every per-node access non-sequential (a seek per page), throwing away
+    exactly the streaming performance sharding is meant to multiply.
+    Banding keeps runs of ``band_blocks`` blocks on one node, so each node
+    sees sequential I/O within a band while bands still spread across the
+    cluster.
+    """
+
+    def __init__(self, replication: int = 1, band_blocks: int = 16):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if band_blocks < 1:
+            raise ValueError(f"band_blocks must be >= 1, got {band_blocks}")
+        self.replication = replication
+        self.band_blocks = band_blocks
+
+    def _spread(self, primary: int, n_nodes: int) -> tuple[int, ...]:
+        count = min(self.replication, n_nodes)
+        return tuple((primary + i) % n_nodes for i in range(count))
+
+    def describe(self) -> str:
+        return (f"{type(self).__name__}(replication={self.replication}, "
+                f"band_blocks={self.band_blocks})")
+
+
+class HashPlacement(_BandedPlacement):
+    """Primary node = hash of ``(fileid, band)``: uniform, history-free."""
+
+    def replicas(self, fileid: str, blockno: int,
+                 n_nodes: int) -> tuple[int, ...]:
+        band = blockno // self.band_blocks
+        primary = stable_hash(f"{fileid}:{band}") % n_nodes
+        return self._spread(primary, n_nodes)
+
+
+class RangePlacement(_BandedPlacement):
+    """Consecutive bands round-robin across nodes (range sharding).
+
+    A file's bands land on ``start, start+1, …`` mod N, where ``start``
+    hashes the file id so different files begin on different nodes.  A
+    streaming scan therefore visits nodes in long runs, and disjoint-range
+    writers to one big object naturally land on disjoint nodes.
+    """
+
+    def replicas(self, fileid: str, blockno: int,
+                 n_nodes: int) -> tuple[int, ...]:
+        band = blockno // self.band_blocks
+        primary = (stable_hash(fileid) + band) % n_nodes
+        return self._spread(primary, n_nodes)
+
+
+# ---------------------------------------------------------------------------
+# Storage managers
+# ---------------------------------------------------------------------------
 
 class StorageManager(ABC):
-    """Block-oriented access to named relation files on one device."""
+    """Block-oriented access to named relation files."""
 
     #: Short name used in ``create ... with storage manager "<name>"``.
     name: str = "abstract"
@@ -33,6 +431,12 @@ class StorageManager(ABC):
         self.model = model
         self.clock = clock
         self.port = DevicePort(model, clock)
+        #: Stable identity for buffer-frame and transaction-touch keys.
+        #: Unique per instance and never reused (unlike ``id()``), so a
+        #: re-registered manager can never alias a predecessor's frames.
+        #: The switch re-stamps it with the registration name on
+        #: construction.
+        self.smgr_id = f"{type(self).name}#{next(_SMGR_SEQ)}"
 
     # -- file lifecycle ----------------------------------------------------
 
@@ -72,6 +476,21 @@ class StorageManager(ABC):
     def sync(self, fileid: str) -> None:
         """Force the file's blocks to stable storage."""
 
+    # -- placement ----------------------------------------------------------
+
+    def placement_groups(self, fileid: str,
+                         blocknos: list[int]) -> list[list[int]]:
+        """Partition *blocknos* into per-device batches, each in block
+        order.
+
+        Batched callers (commit-time flush, prefetch) issue each returned
+        group contiguously so that every physical device sees its blocks
+        sequentially.  The default — one group, sorted — is exactly the
+        historical single-device order; multi-node managers override it to
+        group by primary node.
+        """
+        return [sorted(blocknos)] if blocknos else []
+
     # -- helpers -------------------------------------------------------------
 
     def _check_block(self, data: bytes) -> None:
@@ -83,9 +502,82 @@ class StorageManager(ABC):
         """Total bytes occupied by the relation file."""
         return self.nblocks(fileid) * PAGE_SIZE
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         """Physical access counters (reads, writes, seeks, ...)."""
         return self.port.stats()
+
+
+class NodeAddressedManager(StorageManager):
+    """A storage manager routing block I/O through placed storage nodes.
+
+    The single-node managers (``disk``, ``memory``) use this directly with
+    one node whose port *is* the manager's port, preserving the historical
+    cost accounting exactly; :class:`repro.smgr.sharded` overrides the
+    block I/O for quorum replication.
+    """
+
+    def __init__(self, model: DeviceModel, clock: SimClock,
+                 nodes: list[StorageNode] | None = None,
+                 placement: PlacementPolicy | None = None):
+        super().__init__(model, clock)
+        self.nodes: list[StorageNode] = list(nodes or [])
+        self.placement = placement or SingleNodePlacement()
+
+    def node_replicas(self, fileid: str, blockno: int) -> tuple[int, ...]:
+        """Indices into :attr:`nodes` holding this block, primary first."""
+        return self.placement.replicas(fileid, blockno, len(self.nodes))
+
+    # -- file lifecycle (every node's store knows every file) ---------------
+
+    def create(self, fileid: str) -> None:
+        for node in self.nodes:
+            node.store.create(fileid)
+
+    def exists(self, fileid: str) -> bool:
+        return any(node.store.exists(fileid) for node in self.nodes)
+
+    def unlink(self, fileid: str) -> None:
+        for node in self.nodes:
+            node.store.unlink(fileid)
+
+    def nblocks(self, fileid: str) -> int:
+        best = None
+        for node in self.nodes:
+            if node.store.exists(fileid):
+                size = node.store.nblocks(fileid)
+                best = size if best is None else max(best, size)
+        if best is None:
+            raise StorageManagerError(
+                f"relation file {fileid!r} does not exist")
+        return best
+
+    # -- block I/O ----------------------------------------------------------
+
+    def read_block(self, fileid: str, blockno: int) -> bytearray:
+        total = self.nblocks(fileid)
+        if blockno < 0 or blockno >= total:
+            raise StorageManagerError(
+                f"read past end of {fileid!r}: block {blockno} of {total}")
+        replicas = self.node_replicas(fileid, blockno)
+        return self.nodes[replicas[0]].read(fileid, blockno)
+
+    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
+        self._check_block(data)
+        current = self.nblocks(fileid)
+        if blockno < 0 or blockno > current:
+            raise StorageManagerError(
+                f"write would leave a hole in {fileid!r}: block {blockno} "
+                f"of {current}")
+        for idx in self.node_replicas(fileid, blockno):
+            self.nodes[idx].write(fileid, blockno, data)
+
+    def sync(self, fileid: str) -> None:
+        for node in self.nodes:
+            node.store.sync(fileid)
+
+    def close(self) -> None:
+        for node in self.nodes:
+            node.store.close()
 
 
 class StorageManagerSwitch:
@@ -113,7 +605,11 @@ class StorageManagerSwitch:
                 raise StorageManagerError(
                     f"no storage manager registered under {name!r} "
                     f"(have: {sorted(self._factories)})")
-            self._instances[name] = self._factories[name]()
+            instance = self._factories[name]()
+            # Fresh, never-reused identity per construction: frames keyed
+            # by a replaced instance can never be served to its successor.
+            instance.smgr_id = f"{name}#{next(_SMGR_SEQ)}"
+            self._instances[name] = instance
         return self._instances[name]
 
     def names(self) -> list[str]:

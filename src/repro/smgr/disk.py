@@ -1,116 +1,38 @@
 """Magnetic-disk storage manager: a thin veneer over the OS file system.
 
 This is the paper's first manager — "storage of classes on local magnetic
-disk … a thin veneer on top of the UNIX file system."  Blocks live in one
-real file per relation under the database's data directory; every physical
-access additionally charges the magnetic-disk cost model so simulated
-elapsed times reflect seeks and transfer.
+disk … a thin veneer on top of the UNIX file system."  It is a single-node
+instance of the node-addressed layer: one
+:class:`~repro.smgr.base.DiskBlockStore` (one real file per relation under
+the database's data directory) behind one
+:class:`~repro.smgr.base.StorageNode` whose port is the manager's own, so
+every physical access charges the magnetic-disk cost model exactly as the
+classic one-device manager did.
 """
 
 from __future__ import annotations
 
-import os
-
-from repro.errors import StorageManagerError
 from repro.sim.clock import SimClock
 from repro.sim.devices import DeviceModel, magnetic_disk_device
-from repro.smgr.base import StorageManager
-from repro.storage.constants import PAGE_SIZE
+from repro.smgr.base import (DiskBlockStore, NodeAddressedManager,
+                             StorageNode)
 
 
-def _safe_name(fileid: str) -> str:
-    """Map a relation file id to a safe on-disk file name."""
-    return "".join(c if c.isalnum() or c in "._-" else "_" for c in fileid)
-
-
-class DiskStorageManager(StorageManager):
-    """Relation files as ordinary OS files, one per relation."""
+class DiskStorageManager(NodeAddressedManager):
+    """Relation files as ordinary OS files, one per relation, one node."""
 
     name = "disk"
 
     def __init__(self, directory: str, clock: SimClock,
                  model: DeviceModel | None = None):
-        super().__init__(model or magnetic_disk_device(), clock)
+        model = model or magnetic_disk_device()
+        super().__init__(model, clock)
+        store = DiskBlockStore(directory)
+        self.nodes = [StorageNode("disk0", store, model, clock,
+                                  port=self.port)]
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
-        self._handles: dict[str, "os.PathLike | object"] = {}
+        #: Cached OS file handles (owned by the store; aliased for tests).
+        self._handles = store._handles
 
     def _path(self, fileid: str) -> str:
-        return os.path.join(self.directory, _safe_name(fileid) + ".rel")
-
-    def _open(self, fileid: str):
-        handle = self._handles.get(fileid)
-        if handle is None or handle.closed:
-            path = self._path(fileid)
-            if not os.path.exists(path):
-                raise StorageManagerError(
-                    f"relation file {fileid!r} does not exist")
-            handle = open(path, "r+b")
-            self._handles[fileid] = handle
-        return handle
-
-    # -- file lifecycle ----------------------------------------------------
-
-    def create(self, fileid: str) -> None:
-        path = self._path(fileid)
-        if not os.path.exists(path):
-            with open(path, "wb"):
-                pass
-
-    def exists(self, fileid: str) -> bool:
-        return os.path.exists(self._path(fileid))
-
-    def unlink(self, fileid: str) -> None:
-        handle = self._handles.pop(fileid, None)
-        if handle is not None and not handle.closed:
-            handle.close()
-        path = self._path(fileid)
-        if os.path.exists(path):
-            os.remove(path)
-
-    def nblocks(self, fileid: str) -> int:
-        path = self._path(fileid)
-        if not os.path.exists(path):
-            raise StorageManagerError(
-                f"relation file {fileid!r} does not exist")
-        return os.path.getsize(path) // PAGE_SIZE
-
-    # -- block I/O -----------------------------------------------------------
-
-    def read_block(self, fileid: str, blockno: int) -> bytearray:
-        if blockno < 0 or blockno >= self.nblocks(fileid):
-            raise StorageManagerError(
-                f"read past end of {fileid!r}: block {blockno} "
-                f"of {self.nblocks(fileid)}")
-        handle = self._open(fileid)
-        offset = blockno * PAGE_SIZE
-        handle.seek(offset)
-        data = bytearray(handle.read(PAGE_SIZE))
-        self.port.charge_read(fileid, offset, PAGE_SIZE)
-        return data
-
-    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
-        self._check_block(data)
-        current = self.nblocks(fileid)
-        if blockno < 0 or blockno > current:
-            raise StorageManagerError(
-                f"write would leave a hole in {fileid!r}: block {blockno} "
-                f"of {current}")
-        handle = self._open(fileid)
-        offset = blockno * PAGE_SIZE
-        handle.seek(offset)
-        handle.write(data)
-        self.port.charge_write(fileid, offset, PAGE_SIZE)
-
-    def sync(self, fileid: str) -> None:
-        handle = self._handles.get(fileid)
-        if handle is not None and not handle.closed:
-            handle.flush()
-            os.fsync(handle.fileno())
-
-    def close(self) -> None:
-        """Close all cached OS file handles."""
-        for handle in self._handles.values():
-            if not handle.closed:
-                handle.close()
-        self._handles.clear()
+        return self.nodes[0].store._path(fileid)

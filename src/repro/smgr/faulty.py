@@ -9,7 +9,9 @@ prefix of the page through to the wrapped manager — or raises
 
 Because the injector is itself an ordinary storage manager it registers in
 the switch like any other (``Database`` registers it as ``"faulty"``,
-wrapping the durable ``"disk"`` manager), so any relation — including every
+wrapping the durable ``"disk"`` manager by default — or the replicated
+``"sharded"`` one via ``Database(faulty_base="sharded")``, which is how
+the crash matrix covers node loss), so any relation — including every
 large-object class — can be routed through it with
 ``create ... with storage manager "faulty"``, and a reopened database finds
 the same files through a fresh, unarmed injector.  With no plan armed the
@@ -43,13 +45,25 @@ class FaultInjector(StorageManager):
     # -- arming ------------------------------------------------------------
 
     def arm(self, plan: FaultPlan) -> FaultPlan:
-        """Install *plan*; subsequent guarded operations consult it."""
+        """Install *plan*; subsequent guarded operations consult it.
+
+        ``node`` rules are forwarded to the wrapped manager when it is
+        node-addressed (a sharded base), so one plan can script both
+        block-level faults and node-health transitions.
+        """
         self.plan = plan
+        if plan.has_node_rules():
+            set_node_plan = getattr(self.base, "set_node_plan", None)
+            if set_node_plan is not None:
+                set_node_plan(plan)
         return plan
 
     def disarm(self) -> None:
         """Remove the plan; the wrapper becomes transparent again."""
         self.plan = None
+        clear_node_plan = getattr(self.base, "clear_node_plan", None)
+        if clear_node_plan is not None:
+            clear_node_plan()
 
     def _check(self, op: str, fileid: str):
         self.trace.append((op, fileid))
@@ -79,6 +93,15 @@ class FaultInjector(StorageManager):
 
     def nblocks(self, fileid: str) -> int:
         return self.base.nblocks(fileid)
+
+    def placement_groups(self, fileid: str,
+                         blocknos: list[int]) -> list[list[int]]:
+        return self.base.placement_groups(fileid, blocknos)
+
+    @property
+    def nodes(self):
+        """The wrapped manager's storage nodes (empty for flat bases)."""
+        return getattr(self.base, "nodes", [])
 
     # -- block I/O ---------------------------------------------------------
 

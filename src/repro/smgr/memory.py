@@ -1,67 +1,33 @@
 """Main-memory (NVRAM) storage manager.
 
 The paper's second manager "allows relational data to be stored in
-non-volatile random-access memory."  Blocks are kept in process memory;
-the cost model has no positioning cost and memcpy-speed transfer.
+non-volatile random-access memory."  It is the simplest possible
+single-node instance of the node-addressed layer: one
+:class:`~repro.smgr.base.MemoryBlockStore` behind one
+:class:`~repro.smgr.base.StorageNode` whose port is the manager's own, so
+cost accounting is exactly the classic one-device behavior (no positioning
+cost, memcpy-speed transfer by default).
 """
 
 from __future__ import annotations
 
-from repro.errors import StorageManagerError
 from repro.sim.clock import SimClock
 from repro.sim.devices import DeviceModel, nvram_device
-from repro.smgr.base import StorageManager
-from repro.storage.constants import PAGE_SIZE
+from repro.smgr.base import (MemoryBlockStore, NodeAddressedManager,
+                             StorageNode)
 
 
-class MemoryStorageManager(StorageManager):
-    """Relation files as in-memory lists of blocks."""
+class MemoryStorageManager(NodeAddressedManager):
+    """Relation files as in-memory block maps on a single node."""
 
     name = "memory"
 
     def __init__(self, clock: SimClock, model: DeviceModel | None = None):
-        super().__init__(model or nvram_device(), clock)
-        self._files: dict[str, list[bytearray]] = {}
-
-    def _blocks(self, fileid: str) -> list[bytearray]:
-        if fileid not in self._files:
-            raise StorageManagerError(
-                f"relation file {fileid!r} does not exist")
-        return self._files[fileid]
-
-    def create(self, fileid: str) -> None:
-        self._files.setdefault(fileid, [])
-
-    def exists(self, fileid: str) -> bool:
-        return fileid in self._files
-
-    def unlink(self, fileid: str) -> None:
-        self._files.pop(fileid, None)
-
-    def nblocks(self, fileid: str) -> int:
-        return len(self._blocks(fileid))
-
-    def read_block(self, fileid: str, blockno: int) -> bytearray:
-        blocks = self._blocks(fileid)
-        if blockno < 0 or blockno >= len(blocks):
-            raise StorageManagerError(
-                f"read past end of {fileid!r}: block {blockno} "
-                f"of {len(blocks)}")
-        self.port.charge_read(fileid, blockno * PAGE_SIZE, PAGE_SIZE)
-        return bytearray(blocks[blockno])
-
-    def write_block(self, fileid: str, blockno: int, data: bytes) -> None:
-        self._check_block(data)
-        blocks = self._blocks(fileid)
-        if blockno < 0 or blockno > len(blocks):
-            raise StorageManagerError(
-                f"write would leave a hole in {fileid!r}: block {blockno} "
-                f"of {len(blocks)}")
-        if blockno == len(blocks):
-            blocks.append(bytearray(data))
-        else:
-            blocks[blockno] = bytearray(data)
-        self.port.charge_write(fileid, blockno * PAGE_SIZE, PAGE_SIZE)
-
-    def sync(self, fileid: str) -> None:
-        self._blocks(fileid)  # validate existence; NVRAM is always durable
+        model = model or nvram_device()
+        super().__init__(model, clock)
+        store = MemoryBlockStore()
+        # The node shares the manager's port: one device, one head.
+        self.nodes = [StorageNode("memory0", store, model, clock,
+                                  port=self.port)]
+        #: The raw block map, exposed for white-box tests (page tearing).
+        self._files = store._files

@@ -92,8 +92,8 @@ class Buffer:
     prefetched: bool = False
 
     @property
-    def key(self) -> tuple[int, str, int]:
-        return (id(self.smgr), self.fileid, self.blockno)
+    def key(self) -> tuple[str, str, int]:
+        return (self.smgr.smgr_id, self.fileid, self.blockno)
 
 
 class BufferManager:
@@ -116,16 +116,20 @@ class BufferManager:
         #: (flush_all → flush_file) and one thread may pin while holding
         #: the latch through a ``page()`` block's nested pins.
         self._latch = threading.RLock()
-        self._frames: dict[tuple[int, str, int], Buffer] = {}
-        self._sweep_order: list[tuple[int, str, int]] = []
+        #: Frames are keyed by the manager's stable ``smgr_id`` (plus file
+        #: and block), never ``id(smgr)``: instance ids are reused by the
+        #: allocator, so a re-registered manager could have aliased a dead
+        #: predecessor's frames and served stale pages.
+        self._frames: dict[tuple[str, str, int], Buffer] = {}
+        self._sweep_order: list[tuple[str, str, int]] = []
         self._hand = 0
         #: Pool-side view of each file's length, >= the device's nblocks.
-        self._virtual_nblocks: dict[tuple[int, str], int] = {}
+        self._virtual_nblocks: dict[tuple[str, str], int] = {}
         #: Side cache of *decoded* page contents (B-tree nodes), keyed like
         #: frames.  Writers must update or drop entries on every page
         #: write; the pool drops them with the file.  LRU-bounded so it
         #: can never outgrow the pool it shadows.
-        self._decoded: OrderedDict[tuple[int, str, int], object] = \
+        self._decoded: OrderedDict[tuple[str, str, int], object] = \
             OrderedDict()
         self._decoded_limit = max(64, pool_size)
         #: Monotone stamp written into each page header on write-back.  A
@@ -146,7 +150,7 @@ class BufferManager:
     def nblocks(self, smgr: "StorageManager", fileid: str) -> int:
         """Logical length of the file: device blocks plus unflushed tail."""
         with self._latch:
-            key = (id(smgr), fileid)
+            key = (smgr.smgr_id, fileid)
             if key not in self._virtual_nblocks:
                 self._virtual_nblocks[key] = smgr.nblocks(fileid)
             return self._virtual_nblocks[key]
@@ -156,7 +160,7 @@ class BufferManager:
     def pin(self, smgr: "StorageManager", fileid: str, blockno: int) -> Buffer:
         """Pin the page; reads it from the device on a pool miss."""
         with self._latch:
-            key = (id(smgr), fileid, blockno)
+            key = (smgr.smgr_id, fileid, blockno)
             buf = self._frames.get(key)
             if buf is not None:
                 self.stats.hits += 1
@@ -211,28 +215,33 @@ class BufferManager:
         Sequential readahead: the blocks arrive unpinned with low usage so
         they are cheap to evict if the guess was wrong, but a streaming
         reader finds them resident.  Returns how many were actually read.
+
+        Reads are batched per physical device (``smgr.placement_groups``)
+        so that a sharded file's readahead visits each node's blocks
+        contiguously; for a single-device manager the grouping degenerates
+        to the plain ascending order.
         """
         with self._latch:
             limit = min(blockno + count, smgr.nblocks(fileid))
+            wanted = [block for block in range(max(0, blockno), limit)
+                      if (smgr.smgr_id, fileid, block) not in self._frames]
             fetched = 0
-            for block in range(max(0, blockno), limit):
-                key = (id(smgr), fileid, block)
-                if key in self._frames:
-                    continue
-                self._charge(_MISS_INSTRUCTIONS)
-                self._make_room()
-                raw = smgr.read_block(fileid, block)
-                page = SlottedPage(raw)
-                if (self.verify_checksums and page.lsn != 0
-                        and not page.verify_checksum()):
-                    raise ChecksumError(
-                        f"checksum mismatch prefetching block {block} "
-                        f"of {fileid!r}")
-                buf = Buffer(smgr=smgr, fileid=fileid, blockno=block,
-                             page=page, pin_count=0, usage=1,
-                             prefetched=True)
-                self._install(buf)
-                fetched += 1
+            for group in smgr.placement_groups(fileid, wanted):
+                for block in group:
+                    self._charge(_MISS_INSTRUCTIONS)
+                    self._make_room()
+                    raw = smgr.read_block(fileid, block)
+                    page = SlottedPage(raw)
+                    if (self.verify_checksums and page.lsn != 0
+                            and not page.verify_checksum()):
+                        raise ChecksumError(
+                            f"checksum mismatch prefetching block {block} "
+                            f"of {fileid!r}")
+                    buf = Buffer(smgr=smgr, fileid=fileid, blockno=block,
+                                 page=page, pin_count=0, usage=1,
+                                 prefetched=True)
+                    self._install(buf)
+                    fetched += 1
             self.stats.prefetched += fetched
             return fetched
 
@@ -244,7 +253,7 @@ class BufferManager:
             self._charge(_MISS_INSTRUCTIONS)
             self._make_room()
             blockno = self.nblocks(smgr, fileid)
-            self._virtual_nblocks[(id(smgr), fileid)] = blockno + 1
+            self._virtual_nblocks[(smgr.smgr_id, fileid)] = blockno + 1
             buf = Buffer(smgr=smgr, fileid=fileid, blockno=blockno,
                          page=SlottedPage(special_size=special_size),
                          dirty=True, pin_count=1)
@@ -266,7 +275,7 @@ class BufferManager:
         :meth:`drop_decoded`.
         """
         with self._latch:
-            key = (id(smgr), fileid, blockno)
+            key = (smgr.smgr_id, fileid, blockno)
             obj = self._decoded.get(key)
             if obj is None:
                 self.stats.node_cache_misses += 1
@@ -280,7 +289,7 @@ class BufferManager:
                     blockno: int, obj: object) -> None:
         """Install (or overwrite) the decoded form of a page."""
         with self._latch:
-            key = (id(smgr), fileid, blockno)
+            key = (smgr.smgr_id, fileid, blockno)
             self._decoded[key] = obj
             self._decoded.move_to_end(key)
             while len(self._decoded) > self._decoded_limit:
@@ -291,10 +300,10 @@ class BufferManager:
         """Forget decoded pages of a file (one block, or all of them)."""
         with self._latch:
             if blockno is not None:
-                self._decoded.pop((id(smgr), fileid, blockno), None)
+                self._decoded.pop((smgr.smgr_id, fileid, blockno), None)
                 return
             stale = [key for key in self._decoded
-                     if key[0] == id(smgr) and key[1] == fileid]
+                     if key[0] == smgr.smgr_id and key[1] == fileid]
             for key in stale:
                 del self._decoded[key]
 
@@ -380,7 +389,8 @@ class BufferManager:
         device_blocks = buf.smgr.nblocks(buf.fileid)
         zero = bytes(PAGE_SIZE)
         for hole in range(device_blocks, buf.blockno):
-            hole_buf = self._frames.get((id(buf.smgr), buf.fileid, hole))
+            hole_buf = self._frames.get(
+                (buf.smgr.smgr_id, buf.fileid, hole))
             if hole_buf is not None and hole_buf.dirty:
                 self._stamp(hole_buf.page)
                 buf.smgr.write_block(buf.fileid, hole, bytes(hole_buf.page.buf))
@@ -401,21 +411,39 @@ class BufferManager:
     # -- flushing ---------------------------------------------------------------
 
     def flush_file(self, smgr: "StorageManager", fileid: str) -> int:
-        """Write all dirty pages of one file, then sync it, in block order.
+        """Write all dirty pages of one file, then sync it.
 
         This is the force-at-commit path.  Returns the number of pages
         written.  The sync is unconditional: a file with no dirty pages
         left may still have unsynced device writes from eviction
         write-backs (:meth:`_writeback_batch`), and skipping the sync for
         it would leave a committed transaction's pages in the OS cache.
+
+        Blocks already materialized on the device are written in per-node
+        batches (``smgr.placement_groups``) so each physical device sees
+        its blocks in ascending order; blocks beyond the device's current
+        tail are appended afterwards in global block order, because the
+        hole-filling in :meth:`_writeback` relies on it.  For a
+        single-device manager this is exactly the historical ascending
+        order.
         """
         with self._latch:
-            dirty = sorted(
-                (buf for buf in self._frames.values()
-                 if buf.smgr is smgr and buf.fileid == fileid and buf.dirty),
-                key=lambda b: b.blockno)
-            for buf in dirty:
-                if buf.dirty:  # _writeback may have flushed it (hole-fill)
+            dirty = {buf.blockno: buf
+                     for buf in self._frames.values()
+                     if buf.smgr is smgr and buf.fileid == fileid
+                     and buf.dirty}
+            device_end = smgr.nblocks(fileid) if dirty else 0
+            body = [blockno for blockno in dirty if blockno < device_end]
+            tail = sorted(blockno for blockno in dirty
+                          if blockno >= device_end)
+            for group in smgr.placement_groups(fileid, body):
+                for blockno in group:
+                    buf = dirty[blockno]
+                    if buf.dirty:  # hole-fill may have flushed it already
+                        self._writeback(buf)
+            for blockno in tail:
+                buf = dirty[blockno]
+                if buf.dirty:
                     self._writeback(buf)
             smgr.sync(fileid)
             return len(dirty)
@@ -424,10 +452,10 @@ class BufferManager:
         """Write every dirty page in the pool (checkpoint)."""
         with self._latch:
             written = 0
-            by_file: dict[tuple[int, str], StorageManager] = {}
+            by_file: dict[tuple[str, str], StorageManager] = {}
             for buf in self._frames.values():
                 if buf.dirty:
-                    by_file[(id(buf.smgr), buf.fileid)] = buf.smgr
+                    by_file[(buf.smgr.smgr_id, buf.fileid)] = buf.smgr
             for (_smgr_id, fileid), smgr in sorted(by_file.items(),
                                                    key=lambda kv: kv[0][1]):
                 written += self.flush_file(smgr, fileid)
@@ -440,7 +468,7 @@ class BufferManager:
                      if buf.smgr is smgr and buf.fileid == fileid]
             for key in stale:
                 del self._frames[key]
-            self._virtual_nblocks.pop((id(smgr), fileid), None)
+            self._virtual_nblocks.pop((smgr.smgr_id, fileid), None)
             self.drop_decoded(smgr, fileid)
 
     def pinned_count(self) -> int:

@@ -48,7 +48,7 @@ class Transaction:
         self.state = TxnState.ACTIVE
         #: (smgr, fileid) pairs dirtied by this transaction.
         self.touched: list[tuple[object, str]] = []
-        self._touched_keys: set[tuple[int, str]] = set()
+        self._touched_keys: set[tuple[str, str]] = set()
         #: Run at the start of commit, before pages are forced — open
         #: large-object descriptors flush their write buffers here.
         self.before_commit: list[Callable[[], None]] = []
@@ -57,7 +57,7 @@ class Transaction:
 
     def touch(self, smgr, fileid: str) -> None:
         """Record that this transaction dirtied *fileid* on *smgr*."""
-        key = (id(smgr), fileid)
+        key = (smgr.smgr_id, fileid)
         if key not in self._touched_keys:
             self._touched_keys.add(key)
             self.touched.append((smgr, fileid))

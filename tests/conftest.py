@@ -20,20 +20,21 @@ from repro.txn import CommitLog, LockManager, TransactionManager
 
 
 def pytest_collection_modifyitems(config, items):
-    """Keep ``monkey``-marked rounds out of the default (tier-1) run.
+    """Keep ``monkey``/``shard``-marked rounds out of the default run.
 
-    Unlike the other markers, which select *extra* CI jobs, the monkey
-    tiers are strictly larger versions of smoke tests that already run
+    Unlike the other markers, which select *extra* CI jobs, these tiers
+    are strictly larger versions of smoke tests that already run
     unmarked — so under a plain ``pytest`` they are skipped unless the
     ``-m`` expression mentions the marker explicitly.
     """
     markexpr = config.getoption("-m", default="") or ""
-    if "monkey" in markexpr:
-        return
-    skip = pytest.mark.skip(reason="needs -m monkey")
-    for item in items:
-        if "monkey" in item.keywords:
-            item.add_marker(skip)
+    for marker in ("monkey", "shard"):
+        if marker in markexpr:
+            continue
+        skip = pytest.mark.skip(reason=f"needs -m {marker}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(autouse=True)

@@ -66,9 +66,14 @@ B1 = pattern_bytes(2 * CHUNK_PAYLOAD, 5)
 JUNK = pattern_bytes(3 * CHUNK_PAYLOAD + 123, 7)
 
 
-def seeded_db(path: str, impl: str):
-    """A durable database with one LO holding B0 + B1 over two commits."""
-    db = Database(path)
+def seeded_db(path: str, impl: str, base: str = "disk"):
+    """A durable database with one LO holding B0 + B1 over two commits.
+
+    ``base`` picks the storage manager the fault injector wraps: the
+    plain local ``disk`` manager or the replicated ``sharded`` one — the
+    whole crash matrix must hold no matter where the blocks live.
+    """
+    db = Database(path, faulty_base=base)
     txn = db.begin()
     designator = db.lo.create(txn, impl, smgr="faulty")
     with db.lo.open(designator, txn, "rw") as obj:
@@ -103,12 +108,14 @@ INJECTION_POINTS = {
 
 
 @pytest.mark.faults
+@pytest.mark.parametrize("base", ["disk", "sharded"])
 @pytest.mark.parametrize("impl", ["fchunk", "vsegment"])
 @pytest.mark.parametrize("point", sorted(INJECTION_POINTS))
 class TestCrashMatrix:
-    def test_crashed_commit_never_happened(self, tmp_path, impl, point):
+    def test_crashed_commit_never_happened(self, tmp_path, impl, point,
+                                           base):
         path = str(tmp_path / "db")
-        db, designator, stamp0 = seeded_db(path, impl)
+        db, designator, stamp0 = seeded_db(path, impl, base)
         cf = chunk_fileid(db, designator)
 
         txn = db.begin()
@@ -122,7 +129,7 @@ class TestCrashMatrix:
         assert plan.fired, "the scripted fault never fired"
         crash(db)
 
-        reopened = Database(path)
+        reopened = Database(path, faulty_base=base)
         # Committed bytes intact, byte for byte; the junk is invisible.
         with reopened.lo.open(designator) as obj:
             assert obj.read() == B0 + B1

@@ -93,6 +93,31 @@ class TestSmoke:
         with pytest.raises(ValueError):
             FileMonkey(Database, workers=4, crash_every=10)
 
+    def test_raw_lo_ops_interleave_with_the_fs_mix(self, tmp_path):
+        """The mix drives db.lo directly (create/write/append/read/
+        truncate by designator, no FS paths); the oracle tracks every
+        object's bytes and the as_of replay digests only the objects
+        alive at each commit point."""
+        monkey = FileMonkey(Database, seed=13, workers=2, ops=300)
+        report = _run_clean(monkey, tmp_path, min_committed=150)
+        committed = [e["op"] for e in report.oplog
+                     if e["outcome"] == "ok"]
+        assert "lo_create" in committed
+        assert {"lo_write", "lo_append", "lo_read", "lo_truncate"} \
+            & set(committed)
+        assert monkey.oracle.los  # objects survived into the sweep
+
+    def test_lo_crash_round_resolves_in_doubt_lo_ops(self, tmp_path):
+        """Crashes landing on raw LO commits resolve like FS ops: the
+        recovered state matches the oracle with or without the op."""
+        path = str(tmp_path / "lodb")
+        lo_mix = tuple((op, w * (4 if op.startswith("lo_") else 1))
+                       for op, w in DEFAULT_MIX)
+        monkey = FileMonkey(lambda: Database(path), seed=21, workers=1,
+                            ops=250, crash_every=30, mix=lo_mix)
+        report = _run_clean(monkey, tmp_path, min_committed=100)
+        assert report.crashes >= 3, report.summary()
+
     def test_determinism_same_seed_same_tree(self):
         digests = []
         for _ in range(2):

@@ -91,6 +91,23 @@ class TestServerRoundTrip:
             assert client.lo_read(fd) == b"hello, inversion"
             client.rollback()
 
+    def test_lo_create_routes_to_named_smgr(self, served):
+        """The wire protocol carries the storage-manager name, so a
+        remote client can land an object on the sharded backend."""
+        db, server = served
+        with ServerClient(*server.address) as client:
+            client.begin()
+            designator = client.lo_create("fchunk", smgr="sharded")
+            fd = client.lo_open(designator, "rw")
+            client.lo_write(fd, b"replicated over the wire")
+            client.lo_close(fd)
+            client.commit()
+        with db.lo.open(designator) as obj:
+            assert obj.read(100) == b"replicated over the wire"
+        smgr = db.storage_manager("sharded")
+        assert any(node.store.nblocks(f) > 0
+                   for node in smgr.nodes for f in node.store.files())
+
     def test_append_and_truncate(self, served):
         _db, server = served
         with ServerClient(*server.address) as client:

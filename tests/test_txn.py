@@ -1,5 +1,7 @@
 """Unit tests for the commit log, locks, snapshots, and transactions."""
 
+import types
+
 import pytest
 
 from repro.errors import LockError, TransactionError
@@ -319,10 +321,20 @@ class TestTransactionManager:
 
     def test_touch_deduplicates(self, tm):
         txn = tm.begin()
-        smgr = object()
+        smgr = types.SimpleNamespace(smgr_id="fake#1")
         txn.touch(smgr, "f")
         txn.touch(smgr, "f")
         assert len(txn.touched) == 1
+        txn.abort()
+
+    def test_touch_keys_by_smgr_id_not_object_identity(self, tm):
+        """Two handles with the same stable identity dedupe; two managers
+        with distinct identities do not (the frame-key contract)."""
+        txn = tm.begin()
+        txn.touch(types.SimpleNamespace(smgr_id="disk#1"), "f")
+        txn.touch(types.SimpleNamespace(smgr_id="disk#1"), "f")
+        txn.touch(types.SimpleNamespace(smgr_id="disk#2"), "f")
+        assert len(txn.touched) == 2
         txn.abort()
 
 
