@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.access.tuples import TID, HeapTuple
 from repro.errors import ReproError
+from repro.txn import lockdep
 from repro.txn.snapshot import Snapshot
 
 if TYPE_CHECKING:
@@ -75,18 +76,26 @@ class EngineLatch:
         self._count = 0
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        validate = (lockdep.VALIDATOR.armed
+                    and self._owner != threading.get_ident())
+        if validate:
+            lockdep.VALIDATOR.scoped_check("latch", id(self))
         acquired = self._lock.acquire(blocking, timeout)
         if acquired:
             # Only the owning thread can reach these fields: they are
             # written strictly inside the lock's critical section.
             self._owner = threading.get_ident()
             self._count += 1
+            if validate:
+                lockdep.VALIDATOR.scoped_acquired("latch", id(self))
         return acquired
 
     def release(self) -> None:
         self._count -= 1
         if self._count == 0:
             self._owner = None
+            if lockdep.VALIDATOR.armed:
+                lockdep.VALIDATOR.scoped_released(id(self))
         self._lock.release()
 
     def __enter__(self) -> "EngineLatch":

@@ -38,8 +38,9 @@ from repro.analysis.core import (
 )
 from repro.analysis.report import render_json, render_text
 
-# Importing the rules module populates the registry.
+# Importing the rules modules populates the registry.
 import repro.analysis.rules  # noqa: F401  (registration side effect)
+import repro.analysis.lockdep  # noqa: F401  (R008/R009 registration)
 
 __all__ = [
     "Finding",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.core import all_rules, analyze_paths, get_rule
+from repro.analysis.core import all_rules, analyze_paths
 from repro.analysis.report import render_json, render_text
 
 
@@ -30,9 +30,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", metavar="RULES",
         help="comma-separated rule ids to run (default: all)")
     parser.add_argument(
+        "--strict-suppressions", action="store_true",
+        help=("fail (exit 1) when a selected rule's "
+              "'# repro: allow(...)' comment suppressed nothing"))
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
     return parser
+
+
+def _select_rules(spec: str) -> list:
+    """Resolve a ``--select`` spec, validating every id up front.
+
+    All unknown ids are reported together (not just the first), and an
+    effectively empty selection (``--select ","``) is a usage error —
+    silently running zero rules used to exit 0 and look like a clean
+    tree.
+    """
+    ids = [rid.strip() for rid in spec.split(",") if rid.strip()]
+    known = {rule.id: rule for rule in all_rules()}
+    if not ids:
+        raise ValueError(
+            f"--select selected no rules from {spec!r} "
+            f"(known rules: {', '.join(sorted(known))})")
+    unknown = [rid for rid in ids if rid not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {', '.join(unknown)} "
+            f"(known rules: {', '.join(sorted(known))})")
+    return [known[rid] for rid in ids]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,11 +72,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.id}  {rule.name}: {rule.summary}")
         return 0
 
-    if args.select:
+    if args.select is not None:
         try:
-            rules = [get_rule(rid.strip())
-                     for rid in args.select.split(",") if rid.strip()]
-        except KeyError as exc:
+            rules = _select_rules(args.select)
+        except ValueError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
     else:
@@ -59,7 +84,11 @@ def main(argv: list[str] | None = None) -> int:
     report = analyze_paths(args.paths, rules)
     renderer = render_json if args.format == "json" else render_text
     print(renderer(report))
-    return 1 if report.findings else 0
+    if report.findings:
+        return 1
+    if args.strict_suppressions and report.unused_suppressions:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-#: ``# repro: allow(R001)`` or ``# repro: allow(R001, R004): reason``.
+#: Matches ``repro: allow(R001)`` / ``repro: allow(R001, R004): reason``
+#: comments (written with a leading ``#`` in source).
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\s]+?)\s*\)")
 
 #: Rule id for files the parser rejects (mirrors ruff's E999).
@@ -76,6 +77,26 @@ class Rule:
                        col=node.col_offset, message=message)
 
 
+class ProjectRule(Rule):
+    """A rule that judges the *whole* analyzed tree at once.
+
+    Per-module rules cannot see lock acquisitions reached through a
+    call in another file; interprocedural checks (R008/R009) subclass
+    this instead and implement :meth:`check_project` over every parsed
+    module.  The driver applies suppressions per finding exactly as for
+    module rules (a finding lands on a concrete line in a concrete
+    module).
+    """
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self,
+                      modules: list["ModuleInfo"]) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
 #: Registry of rule instances by id, populated by :func:`register`.
 _RULES: dict[str, Rule] = {}
 
@@ -117,7 +138,8 @@ class ModuleInfo:
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
                 child._repro_parent = parent  # type: ignore[attr-defined]
-        self._suppressions = _parse_suppressions(self.lines)
+        self._suppressions = _parse_suppressions(
+            self.lines, _docstring_lines(self.tree))
 
     # -- location helpers ----------------------------------------------------------
 
@@ -173,15 +195,37 @@ def _package_relative(path: Path) -> str:
     return path.name
 
 
-def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+def _docstring_lines(tree: ast.AST) -> set[int]:
+    """Line numbers covered by docstring-position string literals.
+
+    The rule catalogue documents the suppression syntax *inside*
+    docstrings; those examples are prose, not suppressions, and must
+    not be parsed as (inevitably unused) allow-comments.
+    """
+    covered: set[int] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            end = node.value.end_lineno or node.value.lineno
+            covered.update(range(node.value.lineno, end + 1))
+    return covered
+
+
+def _parse_suppressions(lines: list[str],
+                        skip: set[int] | None = None
+                        ) -> dict[int, set[str]]:
     """Map line number → rule ids allowed there.
 
     A suppression comment on a code line covers that line.  A comment
     on a line of its own covers the next non-blank, non-comment line
     (so long justifications can sit above the statement they excuse).
+    Lines in *skip* (docstrings) are never suppressions.
     """
     table: dict[int, set[str]] = {}
     for lineno, text in enumerate(lines, start=1):
+        if skip and lineno in skip:
+            continue
         match = _ALLOW_RE.search(text)
         if match is None:
             continue
@@ -202,6 +246,26 @@ def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
 # -- driver -------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A ``# repro: allow(...)`` that suppressed nothing this run.
+
+    Only suppressions naming a rule that was actually *selected* are
+    judged: running ``--select R001`` must not flag every R004
+    suppression in the tree as stale.
+    """
+
+    path: str
+    line: int
+    rule: str
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule}
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule)
+
+
 @dataclass
 class Report:
     """The outcome of one analysis run."""
@@ -209,6 +273,8 @@ class Report:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    unused_suppressions: list[UnusedSuppression] = field(
+        default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -220,18 +286,17 @@ class Report:
             "suppressed": self.suppressed,
             "findings": [f.as_dict() for f in self.findings],
             "count": len(self.findings),
+            "unused_suppressions": [
+                u.as_dict() for u in self.unused_suppressions],
         }
 
 
-def analyze_file(path: Path, rules: Iterable[Rule] | None = None,
-                 display_path: str | None = None) -> Report:
-    """Run *rules* (default: all registered) over one source file."""
-    chosen = list(rules) if rules is not None else all_rules()
-    report = Report(files_checked=1)
-    display = display_path or str(path)
+def _load_module(path: Path, display: str,
+                 report: Report) -> ModuleInfo | None:
+    """Parse one file into a ModuleInfo, or record an E999 finding."""
     try:
         source = path.read_text(encoding="utf-8")
-        module = ModuleInfo(path, source, display_path=display)
+        return ModuleInfo(path, source, display_path=display)
     except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
         line = getattr(exc, "lineno", None) or 1
         col = (getattr(exc, "offset", None) or 1) - 1
@@ -239,15 +304,65 @@ def analyze_file(path: Path, rules: Iterable[Rule] | None = None,
             rule=SYNTAX_ERROR_RULE, path=display, rel=path.name,
             line=line, col=max(col, 0),
             message=f"cannot parse file: {getattr(exc, 'msg', exc)}"))
-        return report
-    for rule in chosen:
-        for found in rule.check(module):
-            if module.suppressed(found.line, found.rule):
-                report.suppressed += 1
-            else:
+        return None
+
+
+def _run(files: list[tuple[Path, str]],
+         chosen: list[Rule]) -> Report:
+    """The driver: parse every file, run module then project rules,
+    apply suppressions, and report the selected-but-unused ones."""
+    module_rules = [r for r in chosen if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+    selected_ids = {r.id for r in chosen}
+    report = Report()
+    modules: list[ModuleInfo] = []
+    by_display: dict[str, ModuleInfo] = {}
+    used: dict[int, set[tuple[int, str]]] = {}
+
+    def apply(module: ModuleInfo, found: Finding) -> None:
+        if module.suppressed(found.line, found.rule):
+            report.suppressed += 1
+            used[id(module)].add((found.line, found.rule))
+        else:
+            report.findings.append(found)
+
+    for path, display in files:
+        report.files_checked += 1
+        module = _load_module(path, display, report)
+        if module is None:
+            continue
+        modules.append(module)
+        by_display[module.display_path] = module
+        used[id(module)] = set()
+        for rule in module_rules:
+            for found in rule.check(module):
+                apply(module, found)
+    for rule in project_rules:
+        for found in rule.check_project(modules):
+            module = by_display.get(found.path)
+            if module is not None:
+                apply(module, found)
+            else:  # pragma: no cover - rule reported a foreign path
                 report.findings.append(found)
+    for module in modules:
+        module_used = used[id(module)]
+        for line, rule_ids in module.suppression_lines.items():
+            for rule_id in rule_ids:
+                if (rule_id in selected_ids
+                        and (line, rule_id) not in module_used):
+                    report.unused_suppressions.append(UnusedSuppression(
+                        path=module.display_path, line=line,
+                        rule=rule_id))
     report.findings.sort(key=Finding.sort_key)
+    report.unused_suppressions.sort(key=UnusedSuppression.sort_key)
     return report
+
+
+def analyze_file(path: Path, rules: Iterable[Rule] | None = None,
+                 display_path: str | None = None) -> Report:
+    """Run *rules* (default: all registered) over one source file."""
+    chosen = list(rules) if rules is not None else all_rules()
+    return _run([(path, display_path or str(path))], chosen)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -265,11 +380,5 @@ def analyze_paths(paths: Iterable[Path | str],
                   rules: Iterable[Rule] | None = None) -> Report:
     """Run the linter over files and/or directory trees."""
     chosen = list(rules) if rules is not None else all_rules()
-    total = Report()
-    for file_path in iter_python_files(Path(p) for p in paths):
-        partial = analyze_file(file_path, chosen)
-        total.findings.extend(partial.findings)
-        total.files_checked += partial.files_checked
-        total.suppressed += partial.suppressed
-    total.findings.sort(key=Finding.sort_key)
-    return total
+    files = [(p, str(p)) for p in iter_python_files(Path(p) for p in paths)]
+    return _run(files, chosen)

@@ -13,11 +13,18 @@ def render_text(report: Report) -> str:
         f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}"
         for f in report.findings
     ]
+    for unused in report.unused_suppressions:
+        lines.append(
+            f"{unused.path}:{unused.line}: warning: suppression for "
+            f"{unused.rule} matched no finding (stale 'repro: allow'?)")
     noun = "finding" if len(report.findings) == 1 else "findings"
     summary = (f"{len(report.findings)} {noun} in "
                f"{report.files_checked} file(s) checked")
     if report.suppressed:
         summary += f" ({report.suppressed} suppressed)"
+    if report.unused_suppressions:
+        summary += (f" [{len(report.unused_suppressions)} unused "
+                    f"suppression(s)]")
     lines.append(summary if report.findings else f"OK — {summary}")
     return "\n".join(lines)
 

@@ -287,8 +287,8 @@ def main(argv: list[str] | None = None) -> int:
                         directory=args.dir)
     print(render(results))
     if args.json:
-        # repro: allow(R003): a host-side results artifact, not engine
-        # block I/O.
+        # Host-side results artifact, not engine block I/O (bench/ is
+        # exempt from R003).
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump([result.as_dict() for result in results], fh,
                       indent=2)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.access.schema import Schema
 from repro.catalog.journal import CatalogJournal
+from repro.txn.lockdep import LockdepMutex
 from repro.errors import (
     DuplicateRelation,
     LargeObjectNotFound,
@@ -77,7 +78,7 @@ class Catalog:
         self._next_oid = _FIRST_OID
         self._oid_reserved = _FIRST_OID
         #: Guards oid allocation — concurrent sessions get distinct oids.
-        self._oid_mutex = threading.Lock()
+        self._oid_mutex = LockdepMutex("mutex:oid")
         self._replay()
 
     # -- replay ---------------------------------------------------------------------

@@ -50,6 +50,7 @@ from repro.smgr.memory import MemoryStorageManager
 from repro.smgr.sharded import sharded_disk_manager, sharded_memory_manager
 from repro.smgr.worm import WormStorageManager
 from repro.storage.buffer import BufferManager
+from repro.txn import lockdep
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.manager import Transaction, TransactionManager
 from repro.txn.snapshot import Snapshot
@@ -652,8 +653,11 @@ class Database:
         counters and hit rate), ``storage`` (per-manager physical access
         counters), ``catalog`` (object counts), ``transactions``,
         ``locks`` (grants, waits, wait time, deadlocks, victims),
-        ``access`` (scan-descriptor counters), and ``largeobjects``
-        (descriptor cache hits/misses).
+        ``access`` (scan-descriptor counters), ``largeobjects``
+        (descriptor cache hits/misses), and ``lockdep`` (whether the
+        runtime lock-order validator is armed, the observed
+        acquisition-order edges, and the violation count — see
+        ``repro/txn/lockdep.py`` and docs/invariants.md).
         """
         from repro.lo.metadata import LargeObjectCacheStats
         storage = {}
@@ -690,6 +694,7 @@ class Database:
             "locks": self.locks.stats.as_dict(),
             "access": self.access_stats.as_dict(),
             "largeobjects": lo_caches.as_dict(),
+            "lockdep": lockdep.VALIDATOR.as_dict(),
         }
 
     def close(self) -> None:

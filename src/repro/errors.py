@@ -112,6 +112,17 @@ class DeadlockError(LockError):
     """
 
 
+class LockOrderError(LockError):
+    """The lockdep runtime validator observed a hierarchy violation.
+
+    Raised *before* the offending acquisition blocks, so the caller's
+    stack still shows exactly where the out-of-order acquire happened.
+    The message carries both sides: the stack that took the already-held
+    lock and the stack attempting the new one (see
+    ``repro/txn/lockdep.py`` and docs/invariants.md, "Lock hierarchy").
+    """
+
+
 class TypeError_(ReproError):
     """Base class for ADT-system failures."""
 

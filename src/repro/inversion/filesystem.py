@@ -73,6 +73,7 @@ from repro.errors import (
     NotADirectory,
 )
 from repro.inversion.file import InversionFile
+from repro.txn import lockdep
 from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction
 from repro.txn.snapshot import Snapshot
@@ -292,22 +293,26 @@ class InversionFileSystem:
         parent_repr = "/" + "/".join(parent_parts)
         snapshot = self._snapshot(txn, None)
         for _ in range(_LOCK_RETRIES):
-            chain = self._resolve_chain(parent_parts, snapshot)
-            if chain is None:
-                raise FileNotFound(
-                    f"no Inversion directory {parent_repr!r}")
-            if chain and not chain[-1].is_dir:
-                raise NotADirectory(
-                    f"{parent_repr!r} is not a directory")
-            ids = [ROOT_ID] + [entry.file_id for entry in chain]
-            self._lock_entry(txn, ids[-1], name)
-            for dir_id in ids:
-                self._lock_tree(txn, dir_id, LockMode.SHARED)
-            snapshot = self._snapshot(txn, None)
-            fresh = self._resolve_chain(parent_parts, snapshot)
-            if fresh is not None and \
-                    [e.file_id for e in fresh] == ids[1:]:
-                return ids[-1], name, snapshot
+            # One lockdep operation scope per locking *attempt*: a retry
+            # legitimately starts the entry -> tree sequence over while
+            # 2PL still holds the previous attempt's locks.
+            with lockdep.VALIDATOR.operation(f"path-lock {path!r}"):
+                chain = self._resolve_chain(parent_parts, snapshot)
+                if chain is None:
+                    raise FileNotFound(
+                        f"no Inversion directory {parent_repr!r}")
+                if chain and not chain[-1].is_dir:
+                    raise NotADirectory(
+                        f"{parent_repr!r} is not a directory")
+                ids = [ROOT_ID] + [entry.file_id for entry in chain]
+                self._lock_entry(txn, ids[-1], name)
+                for dir_id in ids:
+                    self._lock_tree(txn, dir_id, LockMode.SHARED)
+                snapshot = self._snapshot(txn, None)
+                fresh = self._resolve_chain(parent_parts, snapshot)
+                if fresh is not None and \
+                        [e.file_id for e in fresh] == ids[1:]:
+                    return ids[-1], name, snapshot
         raise InversionError(
             f"directory chain for {path!r} kept moving; giving up")
 
@@ -553,8 +558,9 @@ class InversionFileSystem:
         # EXCLUSIVE on the directory's tree key: in-flight creates inside
         # it hold SHARED, so emptiness cannot be invalidated after we
         # re-check it below.
-        self._lock_tree(txn, entry.file_id, LockMode.EXCLUSIVE)
-        self._lock_stat(txn, entry.file_id)
+        with lockdep.VALIDATOR.operation(f"rmdir-lock {path!r}"):
+            self._lock_tree(txn, entry.file_id, LockMode.EXCLUSIVE)
+            self._lock_stat(txn, entry.file_id)
         snapshot = self._snapshot(txn, None)
         if self._children(entry.file_id, snapshot):
             raise DirectoryNotEmpty(f"{path!r} is not empty")
@@ -603,23 +609,30 @@ class InversionFileSystem:
             dst_ids = [ROOT_ID] + [e.file_id for e in dst_chain]
             src_name, dst_name = src_parts[-1], dst_parts[-1]
             moving = self._child(src_ids[-1], src_name, snapshot)
-            if moving is not None and moving.is_dir and not dirmove_held:
-                # One directory mover at a time: two concurrent moves
-                # could each pass the ancestry check, then commit a
-                # cycle together.
-                self.db.locks.acquire(txn.xid, ("inv_dirmove",),
-                                      LockMode.EXCLUSIVE)
-                dirmove_held = True
-            for key in sorted({(src_ids[-1], src_name),
-                               (dst_ids[-1], dst_name)}):
-                self._lock_entry(txn, *key)
-            for dir_id in sorted(set(src_ids) | set(dst_ids)):
-                self._lock_tree(txn, dir_id, LockMode.SHARED)
-            if moving is not None and moving.is_dir:
-                # EXCLUSIVE on the moved subtree's root: every op below
-                # it holds this key SHARED in its ancestor chain, so
-                # nothing can land inside the subtree while it moves.
-                self._lock_tree(txn, moving.file_id, LockMode.EXCLUSIVE)
+            # One lockdep operation scope per locking attempt (see
+            # _locked_parent): dirmove -> entry -> tree, checked against
+            # the declared inv_* order in repro/txn/lockdep.py.
+            with lockdep.VALIDATOR.operation(f"rename-lock {src!r}"):
+                if moving is not None and moving.is_dir \
+                        and not dirmove_held:
+                    # One directory mover at a time: two concurrent
+                    # moves could each pass the ancestry check, then
+                    # commit a cycle together.
+                    self.db.locks.acquire(txn.xid, ("inv_dirmove",),
+                                          LockMode.EXCLUSIVE)
+                    dirmove_held = True
+                for key in sorted({(src_ids[-1], src_name),
+                                   (dst_ids[-1], dst_name)}):
+                    self._lock_entry(txn, *key)
+                for dir_id in sorted(set(src_ids) | set(dst_ids)):
+                    self._lock_tree(txn, dir_id, LockMode.SHARED)
+                if moving is not None and moving.is_dir:
+                    # EXCLUSIVE on the moved subtree's root: every op
+                    # below it holds this key SHARED in its ancestor
+                    # chain, so nothing can land inside the subtree
+                    # while it moves.
+                    self._lock_tree(txn, moving.file_id,
+                                    LockMode.EXCLUSIVE)
             snapshot = self._snapshot(txn, None)
             fresh_src = self._resolve_chain(src_parts[:-1], snapshot)
             fresh_dst = self._resolve_chain(dst_parts[:-1], snapshot)

@@ -40,6 +40,7 @@ from repro.lo.vsegment import (
     segment_class_name,
     segment_index_name,
 )
+from repro.txn.lockdep import LockdepMutex
 from repro.txn.locks import LockMode
 from repro.txn.manager import Transaction
 from repro.txn.rangelock import lo_whole
@@ -82,14 +83,14 @@ class LargeObjectManager:
         #: session).  Readers take no heavyweight locks, so this registry
         #: is how unlink — whose relation drop is non-transactional DDL —
         #: refuses to pull a class out from under a live scan.
-        self._open_mutex = threading.Lock()
+        self._open_mutex = LockdepMutex("mutex:lo_registry")
         self._open_counts: dict[int, int] = {}
         #: Per-store append cursors for v-segment byte stores.  The store
         #: "only grows"; under concurrency each writer reserves a
         #: disjoint extent here instead of trusting its descriptor's
         #: (possibly stale) EOF.  Extents reserved by transactions that
         #: later abort are simply never written — holes read as zeros.
-        self._cursor_mutex = threading.Lock()
+        self._cursor_mutex = LockdepMutex("mutex:lo_registry")
         self._append_cursors: dict[int, int] = {}
 
     # -- creation --------------------------------------------------------------------

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 from repro.errors import LargeObjectError, ReproError
 from repro.server import protocol
 from repro.session import Session
+from repro.txn.lockdep import LockdepMutex
 
 if TYPE_CHECKING:
     from repro.db import Database
@@ -58,7 +59,7 @@ class ReproServer:
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._stopping = threading.Event()
-        self._conn_lock = threading.Lock()
+        self._conn_lock = LockdepMutex("mutex:server")
         self._connections: dict[int, socket.socket] = {}
         self._conn_threads: list[threading.Thread] = []
         self._next_conn = 0

@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 
+from repro.txn.lockdep import LockdepMutex
+
 #: Minimum advance per ``now()`` call, so timestamps are strictly monotone.
 _TICK = 1e-9
 
@@ -33,8 +35,10 @@ class SimClock:
         self._by_category: dict[str, float] = defaultdict(float)
         self._now_calls = 0
         #: Concurrent sessions share one clock; charges must not be lost
-        #: and two commits must never draw the same timestamp.
-        self._mutex = threading.Lock()
+        #: and two commits must never draw the same timestamp.  Innermost
+        #: lock in the engine: devices charge it under the buffer and
+        #: smgr locks, so nothing may be acquired while holding it.
+        self._mutex = LockdepMutex("mutex:clock")
 
     def advance(self, seconds: float, category: str = "other") -> None:
         """Charge *seconds* of simulated time to *category*.

@@ -48,6 +48,7 @@ from repro.smgr.base import (DiskBlockStore, HashPlacement,
                              MemoryBlockStore, NodeAddressedManager,
                              PlacementPolicy, RangePlacement, StorageNode)
 from repro.storage.page import SlottedPage
+from repro.txn.lockdep import LockdepMutex
 
 
 class ShardedStorageManager(NodeAddressedManager):
@@ -83,7 +84,7 @@ class ShardedStorageManager(NodeAddressedManager):
         self._stale: set[tuple[str, int, int]] = set()
         #: Manager-level file lengths (global blocks, dense by contract).
         self._lengths: dict[str, int] = {}
-        self._lock = threading.RLock()
+        self._lock = LockdepMutex("mutex:smgr", reentrant=True)
         self._node_plan: FaultPlan | None = None
         self.quorum_failures = 0
         self.repairs = 0

@@ -41,6 +41,7 @@ from repro.sim.clock import SimClock
 from repro.sim.devices import CpuModel
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.page import SlottedPage
+from repro.txn.lockdep import LockdepMutex
 
 if TYPE_CHECKING:  # avoid a circular import with repro.smgr.base
     from repro.smgr.base import StorageManager
@@ -114,8 +115,10 @@ class BufferManager:
         #: decoded-object cache are shared by every session, so each pool
         #: operation runs atomically.  Re-entrant because flush paths nest
         #: (flush_all → flush_file) and one thread may pin while holding
-        #: the latch through a ``page()`` block's nested pins.
-        self._latch = threading.RLock()
+        #: the latch through a ``page()`` block's nested pins.  Despite
+        #: the attribute name this is the *pool* mutex (lock class
+        #: ``mutex:buffer``), not the engine latch.
+        self._latch = LockdepMutex("mutex:buffer", reentrant=True)
         #: Frames are keyed by the manager's stable ``smgr_id`` (plus file
         #: and block), never ``id(smgr)``: instance ids are reused by the
         #: allocator, so a re-registered manager could have aliased a dead

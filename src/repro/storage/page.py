@@ -277,7 +277,8 @@ class SlottedPage:
         state = lenstate & _LP_STATE_MASK
         if state != LP_NORMAL:
             raise PageError(f"slot {slot} is not live (state={state})")
-        # repro: allow(R007): this *is* the sanctioned copying accessor.
+        # This *is* the sanctioned copying accessor (R007 exempts
+        # get_item by name).
         return bytes(self._view[offset:offset + (lenstate >> _LP_LEN_SHIFT)])
 
     def delete_item(self, slot: int) -> None:

@@ -7,19 +7,30 @@ forces dirty pages to stable storage.  Time travel is then just a visibility
 rule — read the version whose commit-time interval covers the requested
 instant.  This is why the paper's f-chunk and v-segment large objects get
 transactions **and** historical versions "automatically" (§6.3, §6.4).
+
+The package ``__init__`` resolves its re-exports lazily (PEP 562): the
+low-level storage and sim modules import ``repro.txn.lockdep`` for their
+mutex instrumentation, and an eager ``from repro.txn.manager import ...``
+here would close an import cycle through them.
 """
 
-from repro.txn.locks import LockManager, LockMode
-from repro.txn.manager import Transaction, TransactionManager
-from repro.txn.snapshot import Snapshot
-from repro.txn.xlog import CommitLog, TxnStatus
+_EXPORTS = {
+    "CommitLog": "repro.txn.xlog",
+    "TxnStatus": "repro.txn.xlog",
+    "Snapshot": "repro.txn.snapshot",
+    "LockManager": "repro.txn.locks",
+    "LockMode": "repro.txn.locks",
+    "Transaction": "repro.txn.manager",
+    "TransactionManager": "repro.txn.manager",
+}
 
-__all__ = [
-    "CommitLog",
-    "TxnStatus",
-    "Snapshot",
-    "LockManager",
-    "LockMode",
-    "Transaction",
-    "TransactionManager",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.txn' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -59,6 +59,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.errors import DeadlockError, LockError, LockTimeout
+from repro.txn import lockdep
 from repro.txn.rangelock import RangeResource
 
 
@@ -201,6 +202,11 @@ class LockManager:
         wait_allowed = not (self.no_wait if no_wait is None else no_wait)
         if timeout is None:
             timeout = self.timeout
+        if lockdep.VALIDATOR.armed:
+            # Raises LockOrderError *before* we can park: a heavy-lock
+            # wait while holding the latch or a mutex is a hierarchy
+            # violation regardless of whether this request would block.
+            lockdep.VALIDATOR.heavy_acquiring(xid, resource)
         with self._cond:
             self._xid_threads[xid] = threading.get_ident()
             if self._try_grant(xid, resource, mode):
@@ -529,6 +535,8 @@ class LockManager:
         """Drop every lock held by *xid* (end of transaction) and grant
         any waiters that become eligible.  Each blocked waiter is woken
         (granted) at most once.  Returns the number of locks released."""
+        if lockdep.VALIDATOR.armed:
+            lockdep.VALIDATOR.heavy_released_all(xid)
         with self._cond:
             self._xid_threads.pop(xid, None)
             released = 0

@@ -23,14 +23,20 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import NoActiveTransaction, SimulatedCrash, TransactionError
-from repro.sim.clock import SimClock
-from repro.storage.buffer import BufferManager
+from repro.txn.lockdep import LockdepMutex
 from repro.txn.locks import LockManager
 from repro.txn.snapshot import Snapshot
 from repro.txn.xlog import CommitLog
+
+if TYPE_CHECKING:
+    # Runtime imports would close an import cycle now that the storage
+    # and sim layers import repro.txn.lockdep (whose parent package
+    # imports this module); both names are type-only here.
+    from repro.sim.clock import SimClock
+    from repro.storage.buffer import BufferManager
 
 
 class TxnState(enum.Enum):
@@ -103,7 +109,9 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         #: Guards the active-transaction table: sessions begin/commit/abort
         #: concurrently, and snapshots must see a consistent active set.
-        self._mutex = threading.Lock()
+        #: Ordered before mutex:xlog — begin() allocates the xid while
+        #: holding it (see the hierarchy table in repro/txn/lockdep.py).
+        self._mutex = LockdepMutex("mutex:txn")
 
     # -- lifecycle ----------------------------------------------------------------
 

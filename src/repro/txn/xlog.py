@@ -18,6 +18,7 @@ import threading
 
 from repro.errors import TransactionError
 from repro.storage.constants import FIRST_XID, INVALID_XID
+from repro.txn.lockdep import LockdepMutex
 
 
 class TxnStatus(enum.IntEnum):
@@ -53,7 +54,7 @@ class CommitLog:
         #: Serializes xid allocation and record appends across sessions —
         #: concurrent commits must not interleave torn half-records, and an
         #: xid must never be handed to two threads.
-        self._mutex = threading.Lock()
+        self._mutex = LockdepMutex("mutex:xlog")
         self._status: dict[int, TxnStatus] = {}
         self._commit_time: dict[int, float] = {}
         #: Monotonic counter bumped on every commit/abort.  Consumers use

@@ -13,6 +13,13 @@ import pytest
 # run with REPRO_DEBUG_LATCH=0 to measure without the checks.
 os.environ.setdefault("REPRO_DEBUG_LATCH", "1")
 
+# Arm the lockdep runtime validator the same way: every instrumented
+# acquisition (heavy locks, engine latch, the LockdepMutex classes) is
+# checked against the declared hierarchy in repro/txn/lockdep.py and
+# recorded into the observed-edge graph surfaced by
+# db.statistics()["lockdep"].  REPRO_LOCKDEP=0 disables it.
+os.environ.setdefault("REPRO_LOCKDEP", "1")
+
 from repro.sim import SimClock
 from repro.smgr import MemoryStorageManager
 from repro.storage import BufferManager

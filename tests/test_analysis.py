@@ -513,3 +513,278 @@ class TestShippedTreeIsClean:
         assert report.findings == []
         assert report.suppressed >= 10
         assert report.files_checked > 80
+
+
+class TestR008LockOrderInversion:
+    """Seeded-inversion fixtures: the analyzer must catch a deliberate
+    A->B / B->A pattern, interprocedural chains, and inv_* protocol
+    violations inside operation scopes."""
+
+    def test_scoped_inversion_fires(self, tmp_path):
+        source = """\
+            from repro.txn.lockdep import LockdepMutex
+
+            class Engine:
+                def __init__(self):
+                    self._pool = LockdepMutex("mutex:buffer")
+                    self._clk = LockdepMutex("mutex:clock")
+
+                def forward(self):            # buffer(65) -> clock(90): fine
+                    with self._pool:
+                        with self._clk:
+                            return 1
+
+                def backward(self):           # clock(90) -> buffer(65): inverted
+                    with self._clk:
+                        with self._pool:
+                            return 2
+        """
+        report = lint(tmp_path, "storage/seeded.py", source, "R008")
+        assert [f.rule for f in report.findings] == ["R008"]
+        finding = report.findings[0]
+        assert "mutex:buffer" in finding.message
+        assert "mutex:clock" in finding.message
+
+    def test_interprocedural_inversion_fires(self, tmp_path):
+        source = """\
+            from repro.txn.lockdep import LockdepMutex
+
+            class Engine:
+                def __init__(self):
+                    self._pool = LockdepMutex("mutex:buffer")
+                    self._tm = LockdepMutex("mutex:txn")
+
+                def _begin(self):
+                    with self._tm:            # txn(45) under buffer(65)
+                        return 1
+
+                def outer(self):
+                    with self._pool:
+                        return self._begin()
+        """
+        report = lint(tmp_path, "storage/seeded.py", source, "R008")
+        assert [f.rule for f in report.findings] == ["R008"]
+        assert "via" in report.findings[0].message
+
+    def test_correct_order_is_clean(self, tmp_path):
+        source = """\
+            from repro.txn.lockdep import LockdepMutex
+
+            class Engine:
+                def __init__(self):
+                    self._tm = LockdepMutex("mutex:txn")
+                    self._pool = LockdepMutex("mutex:buffer")
+
+                def ok(self):
+                    with self._tm:
+                        with self._pool:
+                            return 1
+        """
+        report = lint(tmp_path, "storage/seeded.py", source, "R008")
+        assert report.findings == []
+
+    def test_inv_protocol_violation_in_operation_scope(self, tmp_path):
+        source = """\
+            from repro.txn.lockdep import VALIDATOR
+
+            def bad_rename(locks, txn, a, b):
+                with VALIDATOR.operation("seeded"):
+                    locks.acquire(txn, ("inv_tree", a), "EXCLUSIVE")
+                    locks.acquire(txn, ("inv_entry", b), "EXCLUSIVE")
+        """
+        report = lint(tmp_path, "inversion/seeded.py", source, "R008")
+        assert [f.rule for f in report.findings] == ["R008"]
+        assert "inv_entry" in report.findings[0].message
+        assert "protocol order" in report.findings[0].message
+
+    def test_inv_order_not_checked_across_operations(self, tmp_path):
+        # Two separate operations (strict 2PL: nothing held across the
+        # boundary) may touch the family in any order.
+        source = """\
+            from repro.txn.lockdep import VALIDATOR
+
+            def two_operations(locks, txn, a, b):
+                with VALIDATOR.operation("first"):
+                    locks.acquire(txn, ("inv_tree", a), "SHARED")
+                with VALIDATOR.operation("second"):
+                    locks.acquire(txn, ("inv_entry", b), "EXCLUSIVE")
+        """
+        report = lint(tmp_path, "inversion/seeded.py", source, "R008")
+        assert report.findings == []
+
+
+class TestR009BlockingUnderMutex:
+    def test_heavy_acquire_under_mutex_fires(self, tmp_path):
+        source = """\
+            from repro.txn.lockdep import LockdepMutex
+
+            class Engine:
+                def __init__(self):
+                    self._mutex = LockdepMutex("mutex:txn")
+
+                def bad(self, locks, txn, oid):
+                    with self._mutex:
+                        locks.acquire(txn, ("relation", oid), "SHARED")
+        """
+        report = lint(tmp_path, "txn/seeded.py", source, "R009")
+        assert [f.rule for f in report.findings] == ["R009"]
+        assert "mutex:txn" in report.findings[0].message
+
+    def test_heavy_acquire_under_latch_via_call_fires(self, tmp_path):
+        source = """\
+            class Scan:
+                def _lock_row(self, locks, txn, oid):
+                    locks.acquire(txn, ("relation", oid), "SHARED")
+
+                def read(self, db, locks, txn, oid):
+                    with db.latch:
+                        self._lock_row(locks, txn, oid)
+        """
+        report = lint(tmp_path, "access/seeded.py", source, "R009")
+        assert [f.rule for f in report.findings] == ["R009"]
+        assert "via" in report.findings[0].message
+
+    def test_heavy_before_mutex_is_clean(self, tmp_path):
+        source = """\
+            from repro.txn.lockdep import LockdepMutex
+
+            class Engine:
+                def __init__(self):
+                    self._mutex = LockdepMutex("mutex:txn")
+
+                def good(self, locks, txn, oid):
+                    locks.acquire(txn, ("relation", oid), "SHARED")
+                    with self._mutex:
+                        return 1
+        """
+        report = lint(tmp_path, "txn/seeded.py", source, "R009")
+        assert report.findings == []
+
+
+class TestUnusedSuppressions:
+    def test_stale_suppression_reported(self, tmp_path):
+        source = """\
+            def f():
+                return 1  # repro: allow(R004): nothing here uses time
+        """
+        path = write_module(tmp_path, "txn/a.py", source)
+        report = analyze_file(path, [get_rule("R004")])
+        assert report.findings == []
+        assert [(u.line, u.rule) for u in report.unused_suppressions] \
+            == [(2, "R004")]
+        text = render_text(report)
+        assert "warning: suppression for R004" in text
+        assert "1 unused suppression(s)" in text
+
+    def test_used_suppression_not_reported(self, tmp_path):
+        source = """\
+            import time
+            def f():
+                return time.time()  # repro: allow(R004): fixture
+        """
+        path = write_module(tmp_path, "txn/a.py", source)
+        report = analyze_file(path, [get_rule("R004")])
+        assert report.unused_suppressions == []
+
+    def test_unselected_rule_suppression_not_judged(self, tmp_path):
+        # Running --select R001 must not flag every R004 suppression in
+        # the tree as stale.
+        source = """\
+            import time
+            def f():
+                return time.time()  # repro: allow(R004): fixture
+        """
+        path = write_module(tmp_path, "txn/a.py", source)
+        report = analyze_file(path, [get_rule("R001")])
+        assert report.unused_suppressions == []
+
+    def test_docstring_example_is_not_a_suppression(self, tmp_path):
+        source = '''\
+            def f():
+                """Annotate with  # repro: allow(R004): reason."""
+                return 1
+        '''
+        path = write_module(tmp_path, "txn/a.py", source)
+        report = analyze_file(path, [get_rule("R004")])
+        assert report.unused_suppressions == []
+
+    def test_strict_flag_fails_cli(self, tmp_path, capsys):
+        source = """\
+            def f():
+                return 1  # repro: allow(R004): stale
+        """
+        path = write_module(tmp_path, "txn/a.py", source)
+        assert main([str(path)]) == 0                       # default: warn only
+        assert main(["--strict-suppressions", str(path)]) == 1
+        assert "warning: suppression" in capsys.readouterr().out
+
+    def test_shipped_tree_has_no_stale_suppressions(self):
+        report = analyze_paths([REPO_ROOT / "src" / "repro"])
+        assert report.unused_suppressions == []
+
+
+class TestCLISelectValidation:
+    def test_empty_selection_is_usage_error(self, tmp_path, capsys):
+        path = write_module(tmp_path, "txn/a.py", "x = 1\n")
+        assert main(["--select", ",", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "selected no rules" in err
+        assert "R001" in err and "R008" in err              # known-rule list
+
+    def test_all_unknown_ids_reported_together(self, tmp_path, capsys):
+        path = write_module(tmp_path, "txn/a.py", "x = 1\n")
+        assert main(["--select", "R008,RXXX,RYYY", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "RXXX" in err and "RYYY" in err
+        assert "R009" in err                                # known-rule list
+
+
+class TestJSONReporter:
+    FIXTURE = "import time\nt = time.time()  # repro: allow(R001)\n"
+
+    def _report(self, tmp_path):
+        path = write_module(tmp_path, "txn/golden.py", self.FIXTURE)
+        return analyze_file(path, [get_rule("R001"), get_rule("R004")],
+                            display_path="repro/txn/golden.py")
+
+    def test_golden_document(self, tmp_path):
+        # The machine-readable schema is a contract (CI artifacts parse
+        # it); byte-for-byte golden so field renames fail loudly.
+        golden = textwrap.dedent("""\
+            {
+              "count": 1,
+              "files_checked": 1,
+              "findings": [
+                {
+                  "col": 4,
+                  "line": 2,
+                  "message": "`time.time` reads the wall clock \\u2014 simulated and logical time come from sim/clock.py (SimClock)",
+                  "path": "repro/txn/golden.py",
+                  "rule": "R004"
+                }
+              ],
+              "suppressed": 0,
+              "unused_suppressions": [
+                {
+                  "line": 2,
+                  "path": "repro/txn/golden.py",
+                  "rule": "R001"
+                }
+              ]
+            }""")
+        assert render_json(self._report(tmp_path)) == golden
+
+    def test_round_trip_reconstructs_text_report(self, tmp_path):
+        # Everything render_text needs must survive the JSON encoding.
+        from repro.analysis.core import (Finding, Report,
+                                         UnusedSuppression)
+        report = self._report(tmp_path)
+        document = json.loads(render_json(report))
+        rebuilt = Report(
+            findings=[Finding(rel="", **f) for f in document["findings"]],
+            files_checked=document["files_checked"],
+            suppressed=document["suppressed"],
+            unused_suppressions=[UnusedSuppression(**u) for u in
+                                 document["unused_suppressions"]])
+        assert render_text(rebuilt) == render_text(report)
+        assert len(rebuilt.findings) == document["count"]
